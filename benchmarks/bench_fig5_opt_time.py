@@ -1,0 +1,52 @@
+"""Figure 5: optimization time (log scale) -- TASO total, TASO best, TENSAT.
+
+"TASO total" is the full backtracking-search time with the default budget,
+"TASO best" is when the search first reached the graph it eventually returns
+(the oracle stopping time), and TENSAT is exploration + extraction.  The paper
+annotates each model with the TASO-total / TENSAT speed ratio; the regenerated
+table does the same.
+"""
+
+import pytest
+
+from benchmarks.common import PAPER_MODELS, format_table, run_model, write_result
+
+
+def _generate_fig5():
+    rows = []
+    data = {}
+    for model in PAPER_MODELS:
+        run = run_model(model)
+        ratio = run.taso.total_seconds / max(run.tensat_seconds, 1e-9)
+        rows.append(
+            [
+                model,
+                f"{run.taso.total_seconds:.2f}",
+                f"{run.taso.best_seconds:.2f}",
+                f"{run.tensat_seconds:.2f}",
+                f"{ratio:.1f}x",
+            ]
+        )
+        data[model] = {
+            "taso_total_seconds": run.taso.total_seconds,
+            "taso_best_seconds": run.taso.best_seconds,
+            "tensat_seconds": run.tensat_seconds,
+            "speed_ratio_taso_total_over_tensat": ratio,
+        }
+    table = format_table(
+        ["model", "TASO total (s)", "TASO best (s)", "TENSAT (s)", "TASO total / TENSAT"],
+        rows,
+    )
+    write_result("fig5_opt_time", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_optimization_time(benchmark):
+    data = benchmark.pedantic(_generate_fig5, rounds=1, iterations=1)
+    for model in data:
+        # "TASO best" can never exceed "TASO total".
+        assert data[model]["taso_best_seconds"] <= data[model]["taso_total_seconds"] + 1e-9
+    # On the models with many shared-input operators the sequential search pays
+    # a large time penalty relative to equality saturation (paper: 9.5x-379x).
+    assert data["nasrnn"]["speed_ratio_taso_total_over_tensat"] > 1.0

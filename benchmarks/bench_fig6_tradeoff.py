@@ -1,0 +1,55 @@
+"""Figure 6: speedup versus optimization time trade-off on Inception-v3.
+
+The paper plots, for a 60-second budget, how the best-known speedup of TASO's
+backtracking search evolves over time, against TENSAT's (time, speedup)
+points.  The backtracking search already records its incumbent trajectory;
+TENSAT contributes one point per ``k_multi`` setting.
+"""
+
+import pytest
+
+from benchmarks.common import bench_scale, cost_model, format_table, run_model, taso_budget, write_result
+from repro.models import build_model
+from repro.search import BacktrackingSearch
+
+TIMEOUT_SECONDS = 60.0
+
+
+def _generate_fig6():
+    cm = cost_model()
+    graph = build_model("inception", bench_scale())
+    original = cm.graph_cost(graph)
+
+    taso = BacktrackingSearch(cm, budget=10 * taso_budget(), time_limit=TIMEOUT_SECONDS).optimize(graph)
+    taso_curve = [
+        (round(t, 3), round((original / c - 1.0) * 100.0, 2)) for t, c in taso.trajectory
+    ]
+
+    tensat_points = []
+    for k_multi in (1, 2):
+        run = run_model("inception", k_multi=k_multi)
+        tensat_points.append(
+            {"k_multi": k_multi, "seconds": run.tensat_seconds, "speedup_percent": run.tensat_speedup}
+        )
+
+    rows = [["TASO", f"{t:.2f}", f"{s:.1f}"] for t, s in taso_curve]
+    rows += [
+        ["TENSAT (k=%d)" % p["k_multi"], f"{p['seconds']:.2f}", f"{p['speedup_percent']:.1f}"]
+        for p in tensat_points
+    ]
+    table = format_table(["optimizer", "time (s)", "best speedup %"], rows)
+    data = {"taso_trajectory": taso_curve, "tensat_points": tensat_points, "timeout": TIMEOUT_SECONDS}
+    write_result("fig6_tradeoff", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_tradeoff_curve(benchmark):
+    data = benchmark.pedantic(_generate_fig6, rounds=1, iterations=1)
+    speedups = [s for _, s in data["taso_trajectory"]]
+    # The incumbent speedup of the sequential search is non-decreasing over time.
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # TENSAT reaches at least the baseline's final speedup (better trade-off curve).
+    final_taso = speedups[-1]
+    best_tensat = max(p["speedup_percent"] for p in data["tensat_points"])
+    assert best_tensat >= final_taso - 1e-6

@@ -1,0 +1,60 @@
+"""Figure 7: effect of the number of multi-pattern rewrite iterations (k_multi).
+
+Sweeps ``k_multi`` over 0..3 for every model and reports the speedup of the
+extracted graph, the optimizer time, and the final e-graph size.  The paper's
+headline observation -- the e-graph grows (double-)exponentially with k_multi
+while speedups improve for most models -- is what the regenerated series shows.
+"""
+
+import pytest
+
+from benchmarks.common import PAPER_MODELS, format_table, run_model, write_result
+
+K_VALUES = (0, 1, 2, 3)
+#: Models in the sweep; override the full list via the module-level constant if
+#: a quicker run is needed.
+SWEEP_MODELS = PAPER_MODELS
+
+
+def _generate_fig7():
+    rows = []
+    data = {}
+    for model in SWEEP_MODELS:
+        data[model] = {}
+        for k in K_VALUES:
+            # A tighter ILP budget keeps the 28-point sweep tractable; the series of
+            # interest (e-graph size / optimizer time growth with k_multi) is unaffected.
+            run = run_model(model, k_multi=k, run_taso=False, ilp_time_limit=20.0)
+            stats = run.tensat.stats
+            rows.append(
+                [
+                    model,
+                    k,
+                    f"{run.tensat_speedup:.1f}",
+                    f"{run.tensat_seconds:.2f}",
+                    stats.num_enodes,
+                ]
+            )
+            data[model][k] = {
+                "speedup_percent": run.tensat_speedup,
+                "optimizer_seconds": run.tensat_seconds,
+                "num_enodes": stats.num_enodes,
+            }
+    table = format_table(
+        ["model", "k_multi", "speedup %", "optimizer time (s)", "e-nodes"], rows
+    )
+    write_result("fig7_kmulti", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_kmulti_sweep(benchmark):
+    data = benchmark.pedantic(_generate_fig7, rounds=1, iterations=1)
+    for model, series in data.items():
+        # The e-graph never shrinks as k_multi grows (it explodes for the models
+        # with many shared-input operators).
+        sizes = [series[k]["num_enodes"] for k in K_VALUES]
+        assert all(a <= b + 1 for a, b in zip(sizes, sizes[1:])), (model, sizes)
+        # Multi-pattern rules are what unlock the merges: k_multi >= 1 is never
+        # worse than k_multi = 0.
+        assert series[1]["speedup_percent"] >= series[0]["speedup_percent"] - 1e-6

@@ -1,0 +1,42 @@
+"""Table 3: TENSAT optimization-time breakdown (exploration vs extraction)."""
+
+import pytest
+
+from benchmarks.common import PAPER_MODELS, format_table, run_model, write_result
+
+
+def _generate_table3():
+    rows = []
+    data = {}
+    for model in PAPER_MODELS:
+        run = run_model(model)
+        stats = run.tensat.stats
+        rows.append(
+            [
+                model,
+                f"{stats.exploration_seconds:.2f}",
+                f"{stats.extraction_seconds:.2f}",
+                f"{stats.num_enodes}",
+                stats.stop_reason,
+            ]
+        )
+        data[model] = {
+            "exploration_seconds": stats.exploration_seconds,
+            "extraction_seconds": stats.extraction_seconds,
+            "num_enodes": stats.num_enodes,
+            "stop_reason": stats.stop_reason,
+        }
+    table = format_table(
+        ["model", "exploration (s)", "extraction (s)", "e-nodes", "stop reason"], rows
+    )
+    write_result("table3_breakdown", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_time_breakdown(benchmark):
+    data = benchmark.pedantic(_generate_table3, rounds=1, iterations=1)
+    for model, entry in data.items():
+        assert entry["exploration_seconds"] > 0
+        assert entry["extraction_seconds"] > 0
+        assert entry["num_enodes"] > 0

@@ -1,0 +1,71 @@
+"""Table 4: greedy versus ILP extraction (BERT, NasRNN, NasNet-A).
+
+The paper reports the runtime of the original graph and of the graphs
+extracted greedily and by ILP from the same e-graph (k_multi = 1).  Greedy
+fails to realise the concat/split merges because it ignores sharing, so its
+graphs are no better (sometimes worse) than the original, while ILP improves
+on both.
+"""
+
+import pytest
+
+from benchmarks.common import bench_scale, cost_model, format_table, tensat_config, write_result
+from repro.core import TensatOptimizer
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.ir.convert import recexpr_to_graph
+from repro.models import build_model
+
+TABLE4_MODELS = ["bert", "nasrnn", "nasnet"]
+
+
+def _generate_table4():
+    cm = cost_model()
+    rows = []
+    data = {}
+    for model in TABLE4_MODELS:
+        graph = build_model(model, bench_scale())
+        original = cm.graph_cost(graph)
+        optimizer = TensatOptimizer(cm, config=tensat_config(model, k_multi=1))
+        egraph, root, cycle_filter, _ = optimizer.explore(graph)
+        node_cost = cm.extraction_cost_function()
+
+        greedy_expr = GreedyExtractor(node_cost, filter_list=cycle_filter.filter_list).extract(egraph, root)
+        greedy_cost = cm.graph_cost(recexpr_to_graph(greedy_expr.expr))
+        ilp_expr = ILPExtractor(
+            node_cost,
+            filter_list=cycle_filter.filter_list,
+            time_limit=tensat_config(model).ilp_time_limit,
+            mip_rel_gap=0.01,
+        ).extract(egraph, root)
+        ilp_cost = cm.graph_cost(recexpr_to_graph(ilp_expr.expr))
+
+        # As in the end-to-end optimizer, a greedy pick worse than the input graph
+        # would simply be discarded; report the raw extraction value to expose the
+        # failure mode the paper describes.
+        rows.append([model, f"{original:.4f}", f"{greedy_cost:.4f}", f"{ilp_cost:.4f}"])
+        data[model] = {
+            "original_cost_ms": original,
+            "greedy_cost_ms": greedy_cost,
+            "ilp_cost_ms": ilp_cost,
+        }
+    table = format_table(["model", "original (ms)", "greedy (ms)", "ILP (ms)"], rows)
+    write_result("table4_extraction", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_greedy_vs_ilp(benchmark):
+    data = benchmark.pedantic(_generate_table4, rounds=1, iterations=1)
+    for model, entry in data.items():
+        # ILP never loses to greedy, and never loses to the original graph.
+        assert entry["ilp_cost_ms"] <= entry["greedy_cost_ms"] + 1e-9
+        assert entry["ilp_cost_ms"] <= entry["original_cost_ms"] + 1e-9
+    # On the paper-sized workloads greedy fails to beat the original graph on
+    # BERT / NasNet-A because it cannot account for sharing; at the default
+    # "tiny" benchmark scale fusion alone already helps, so this stronger check
+    # only applies to the larger scales.
+    if bench_scale() != "tiny":
+        assert any(
+            entry["greedy_cost_ms"] >= entry["original_cost_ms"] - 1e-9 for entry in data.values()
+        )

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Greedy versus ILP extraction (the paper's Section 6.5 ablation).
+
+The concat/split merge rewrites only pay off when *both* outputs of a merged
+operator select their ``split`` projection; greedy extraction decides each
+e-class independently and therefore never picks them.  This example runs both
+extractors on the same explored e-graph for a BERT-like attention block and
+prints the resulting graph costs, reproducing the shape of Table 4.
+
+Run with::
+
+    python examples/compare_extraction.py
+"""
+
+from repro import GraphBuilder, TensatConfig, TensatOptimizer
+from repro.costs import AnalyticCostModel
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.ir.convert import recexpr_to_graph
+
+
+def attention_block():
+    """Q/K/V projections sharing one input -- the classic merge opportunity."""
+    b = GraphBuilder("attention")
+    x = b.input("tokens", (64, 128))
+    wq = b.weight("wq", (128, 128))
+    wk = b.weight("wk", (128, 128))
+    wv = b.weight("wv", (128, 128))
+    q, k, v = b.matmul(x, wq), b.matmul(x, wk), b.matmul(x, wv)
+    scores = b.matmul(q, b.transpose(k, (1, 0)))
+    context = b.matmul(b.sigmoid(scores), v)
+    return b.finish(outputs=[context])
+
+
+def main() -> None:
+    cost_model = AnalyticCostModel()
+    graph = attention_block()
+    original_cost = cost_model.graph_cost(graph)
+
+    optimizer = TensatOptimizer(cost_model, config=TensatConfig.fast())
+    egraph, root, cycle_filter, report = optimizer.explore(graph)
+    print(f"explored e-graph: {egraph.num_enodes} e-nodes, {egraph.num_eclasses} e-classes "
+          f"(stop: {report.stop_reason.value})")
+
+    node_cost = cost_model.extraction_cost_function()
+    greedy = GreedyExtractor(node_cost, filter_list=cycle_filter.filter_list).extract(egraph, root)
+    ilp = ILPExtractor(node_cost, filter_list=cycle_filter.filter_list, time_limit=60).extract(egraph, root)
+
+    greedy_cost = cost_model.graph_cost(recexpr_to_graph(greedy.expr))
+    ilp_cost = cost_model.graph_cost(recexpr_to_graph(ilp.expr))
+
+    print(f"{'graph':<22}{'cost (ms)':>12}")
+    print(f"{'original':<22}{original_cost:>12.5f}")
+    print(f"{'greedy extraction':<22}{greedy_cost:>12.5f}")
+    print(f"{'ILP extraction':<22}{ilp_cost:>12.5f}")
+    print()
+    print("ILP <= greedy <= original is the expected ordering; greedy often fails to")
+    print("realise the merge because the shared merged matmul is double-counted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro -- a Python reproduction of TENSAT (MLSys 2021).
+
+TENSAT performs tensor graph superoptimization with *equality saturation*: it
+grows an e-graph containing every graph reachable from the input via a set of
+semantics-preserving rewrite rules, then extracts the cheapest equivalent
+graph with a greedy algorithm or an Integer Linear Program.
+
+Top-level convenience API::
+
+    from repro import optimize, TensatConfig
+    from repro.models import build_model
+
+    graph = build_model("nasrnn", scale="small")
+    result = optimize(graph)
+    print(result.speedup_percent)
+
+The package is organised as:
+
+* :mod:`repro.egraph`   -- e-graph / equality-saturation substrate (egg-like).
+* :mod:`repro.ir`       -- tensor computation graph IR (paper Table 2 operators).
+* :mod:`repro.rules`    -- TASO-style rewrite rule library.
+* :mod:`repro.costs`    -- operator cost models (analytic T4-like device model).
+* :mod:`repro.backend`  -- numpy reference executor and simulated runtimes.
+* :mod:`repro.search`   -- sequential baselines (TASO-style backtracking, sampling).
+* :mod:`repro.core`     -- the TENSAT optimizer itself.
+* :mod:`repro.models`   -- benchmark model graph constructors.
+"""
+
+from repro.core.config import TensatConfig
+from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.tensor import TensorShape
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "TensatConfig",
+    "TensatOptimizer",
+    "OptimizationResult",
+    "optimize",
+    "GraphBuilder",
+    "TensorGraph",
+    "TensorShape",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Numpy reference backend.
+
+This package stands in for the paper's TASO/cuDNN runtime: it provides
+
+* :mod:`repro.backend.kernels` -- a numpy implementation of every Table-2
+  operator (used to verify rewrite rules numerically and to execute graphs),
+* :mod:`repro.backend.executor` -- a reference interpreter for
+  :class:`~repro.ir.graph.TensorGraph`,
+* :mod:`repro.backend.runtime` -- simulated graph "runtime measurement" under
+  a cost model (the quantity the paper's speedup percentages are computed
+  from).
+"""
+
+from repro.backend.executor import ExecutionResult, Executor, execute_graph, outputs_allclose, random_feeds
+from repro.backend.kernels import execute_symbol
+from repro.backend.runtime import measure_graph_runtime, speedup_percent
+
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "execute_graph",
+    "outputs_allclose",
+    "random_feeds",
+    "execute_symbol",
+    "measure_graph_runtime",
+    "speedup_percent",
+]

@@ -1,0 +1,51 @@
+"""Simulated graph runtime "measurement".
+
+The paper measures the end-to-end runtime of the original and optimized graphs
+with TASO's cuDNN backend and reports the speedup percentage.  Without a GPU,
+the graph runtime here is defined by the cost model (the sum of per-operator
+costs), optionally perturbed by multiplicative noise to emulate measurement
+jitter in the five-repetition protocol of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.ir.graph import TensorGraph
+
+__all__ = ["measure_graph_runtime", "speedup_percent"]
+
+
+def measure_graph_runtime(
+    graph: TensorGraph,
+    cost_model: CostModel,
+    noise: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    repeats: int = 1,
+) -> float:
+    """Simulated runtime of ``graph`` in milliseconds.
+
+    ``noise`` is the relative standard deviation of the per-measurement
+    multiplicative jitter; with ``repeats > 1`` the mean of the simulated
+    measurements is returned (mirroring the paper's repeated-measurement
+    protocol).
+    """
+    base = cost_model.graph_cost(graph)
+    if noise <= 0.0:
+        return base
+    rng = rng if rng is not None else np.random.default_rng(0)
+    samples = base * (1.0 + noise * rng.standard_normal(max(repeats, 1)))
+    return float(np.mean(np.maximum(samples, 0.0)))
+
+
+def speedup_percent(original_runtime: float, optimized_runtime: float) -> float:
+    """Speedup of the optimized graph over the original, in percent.
+
+    Matches the paper's convention: a graph twice as fast is a 100% speedup.
+    """
+    if optimized_runtime <= 0:
+        raise ValueError("optimized runtime must be positive")
+    return (original_runtime / optimized_runtime - 1.0) * 100.0

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro optimize --model nasrnn --scale tiny
+    python -m repro optimize --model bert --scale small --k-multi 2 --extraction ilp
+    python -m repro compare --model squeezenet --scale tiny --taso-budget 30
+    python -m repro models
+    python -m repro rules --tag merge
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core import TensatConfig, TensatOptimizer
+from repro.costs import AnalyticCostModel
+from repro.ir.serialize import save_graph
+from repro.models import MODEL_NAMES, build_model
+from repro.rules import default_ruleset
+from repro.search import BacktrackingSearch
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description="TENSAT reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p):
+        p.add_argument("--model", required=True, choices=MODEL_NAMES, help="benchmark model to optimize")
+        p.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"))
+
+    opt = sub.add_parser("optimize", help="optimize one model graph with TENSAT")
+    add_model_args(opt)
+    opt.add_argument("--k-multi", type=int, default=1, help="iterations of multi-pattern rewrites")
+    opt.add_argument("--node-limit", type=int, default=5_000)
+    opt.add_argument("--iter-limit", type=int, default=8)
+    opt.add_argument("--extraction", choices=("ilp", "greedy"), default="ilp")
+    opt.add_argument("--ilp-time-limit", type=float, default=60.0)
+    opt.add_argument("--cycle-filter", choices=("efficient", "vanilla", "none"), default="efficient")
+    opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
+    opt.add_argument("--json", action="store_true", help="print machine-readable stats")
+
+    cmp = sub.add_parser("compare", help="compare TENSAT against the TASO-style backtracking baseline")
+    add_model_args(cmp)
+    cmp.add_argument("--k-multi", type=int, default=1)
+    cmp.add_argument("--taso-budget", type=int, default=30, help="backtracking queue pops")
+    cmp.add_argument("--json", action="store_true")
+
+    sub.add_parser("models", help="list available benchmark models")
+
+    rules = sub.add_parser("rules", help="list the rewrite-rule library")
+    rules.add_argument("--tag", help="only rules carrying this tag")
+
+    return parser
+
+
+def _config_from_args(args) -> TensatConfig:
+    cycle_filter = args.cycle_filter
+    return TensatConfig(
+        node_limit=args.node_limit,
+        iter_limit=args.iter_limit,
+        k_multi=args.k_multi,
+        extraction=args.extraction,
+        ilp_time_limit=args.ilp_time_limit,
+        cycle_filter=cycle_filter,
+        ilp_cycle_constraints=(cycle_filter == "none"),
+    )
+
+
+def _cmd_optimize(args) -> int:
+    cost_model = AnalyticCostModel()
+    graph = build_model(args.model, args.scale)
+    optimizer = TensatOptimizer(cost_model, config=_config_from_args(args))
+    result = optimizer.optimize(graph)
+    if args.output:
+        save_graph(result.optimized, args.output)
+    if args.json:
+        print(json.dumps(result.stats.as_dict(), indent=2))
+    else:
+        print(result.summary())
+        if args.output:
+            print(f"optimized graph written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cost_model = AnalyticCostModel()
+    graph = build_model(args.model, args.scale)
+
+    start = time.perf_counter()
+    tensat = TensatOptimizer(
+        cost_model, config=TensatConfig.fast().with_overrides(k_multi=args.k_multi)
+    ).optimize(graph)
+    tensat_seconds = time.perf_counter() - start
+
+    taso = BacktrackingSearch(cost_model, budget=args.taso_budget).optimize(graph)
+
+    payload = {
+        "model": args.model,
+        "scale": args.scale,
+        "original_cost_ms": cost_model.graph_cost(graph),
+        "tensat": {"speedup_percent": tensat.speedup_percent, "seconds": tensat_seconds},
+        "taso": {
+            "speedup_percent": taso.speedup_percent,
+            "total_seconds": taso.total_seconds,
+            "best_seconds": taso.best_seconds,
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{args.model} ({args.scale}): original cost {payload['original_cost_ms']:.5f} ms")
+        print(f"  TENSAT : {tensat.speedup_percent:6.1f}% speedup in {tensat_seconds:.2f}s")
+        print(f"  TASO   : {taso.speedup_percent:6.1f}% speedup in {taso.total_seconds:.2f}s "
+              f"(best found at {taso.best_seconds:.2f}s)")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for name in MODEL_NAMES:
+        graph = build_model(name, "tiny")
+        print(f"{name:12s} {graph.describe()}")
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    rules = default_ruleset()
+    if args.tag:
+        rules = rules.filter(include_tags=[args.tag])
+    for rule_def in rules:
+        kind = "multi " if rule_def.is_multi else "single"
+        print(f"[{kind}] {rule_def.name:32s} tags={','.join(rule_def.tags)}")
+    print(f"total: {rules.summary()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "optimize": _cmd_optimize,
+        "compare": _cmd_compare,
+        "models": _cmd_models,
+        "rules": _cmd_rules,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

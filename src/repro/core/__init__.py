@@ -1,0 +1,7 @@
+"""The TENSAT optimizer: equality-saturation exploration + extraction."""
+
+from repro.core.config import TensatConfig
+from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
+from repro.core.stats import OptimizationStats
+
+__all__ = ["TensatConfig", "TensatOptimizer", "OptimizationResult", "OptimizationStats", "optimize"]

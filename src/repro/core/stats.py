@@ -1,0 +1,74 @@
+"""Statistics reported by the TENSAT optimizer.
+
+These mirror the quantities the paper reports: optimization-time breakdown
+into exploration and extraction (Table 3), e-graph sizes (Figure 7), and the
+cost/speedup of the optimized graph (Table 1, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.egraph.runner import RunnerReport
+
+__all__ = ["OptimizationStats"]
+
+
+@dataclass
+class OptimizationStats:
+    """Phase timings, e-graph sizes, and costs of one optimization run."""
+
+    exploration_seconds: float = 0.0
+    extraction_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    exploration_iterations: int = 0
+    stop_reason: str = ""
+    num_enodes: int = 0
+    num_eclasses: int = 0
+    num_filtered_nodes: int = 0
+    cycles_resolved: int = 0
+
+    original_cost: float = 0.0
+    optimized_cost: float = 0.0
+    extraction_status: str = ""
+    ilp_num_variables: int = 0
+    ilp_num_constraints: int = 0
+
+    @property
+    def speedup_percent(self) -> float:
+        """Cost-model speedup of the optimized graph over the original (paper convention)."""
+        if self.optimized_cost <= 0:
+            return 0.0
+        return (self.original_cost / self.optimized_cost - 1.0) * 100.0
+
+    @classmethod
+    def from_runner_report(cls, report: RunnerReport) -> "OptimizationStats":
+        stats = cls(
+            exploration_seconds=report.total_seconds,
+            exploration_iterations=report.num_iterations,
+            stop_reason=report.stop_reason.value,
+            num_enodes=report.n_enodes,
+            num_eclasses=report.n_eclasses,
+            num_filtered_nodes=report.n_filtered,
+            cycles_resolved=sum(it.n_cycles_resolved for it in report.iterations),
+        )
+        return stats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "exploration_seconds": round(self.exploration_seconds, 4),
+            "extraction_seconds": round(self.extraction_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+            "iterations": self.exploration_iterations,
+            "stop_reason": self.stop_reason,
+            "enodes": self.num_enodes,
+            "eclasses": self.num_eclasses,
+            "filtered_nodes": self.num_filtered_nodes,
+            "cycles_resolved": self.cycles_resolved,
+            "original_cost_ms": self.original_cost,
+            "optimized_cost_ms": self.optimized_cost,
+            "speedup_percent": round(self.speedup_percent, 2),
+            "extraction_status": self.extraction_status,
+        }

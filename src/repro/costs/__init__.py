@@ -1,0 +1,36 @@
+"""Operator cost models.
+
+The paper's cost model is additive and per-operator: "Each operator has a
+separate and independent cost, which is the measured runtime of that operator
+... on hardware.  The total cost of a graph is the sum of costs of each of its
+nodes" (Section 5).  Without the paper's NVIDIA T4 + cuDNN measurement
+backend, this package provides:
+
+* :class:`~repro.costs.model.AnalyticCostModel` -- a roofline-style device
+  model (FLOPs / memory traffic / kernel launch overhead) parameterised by a
+  :class:`~repro.costs.device.DeviceProfile` (default: T4-like numbers),
+* :class:`~repro.costs.model.TableCostModel` -- explicit per-operator costs
+  for tests,
+* :class:`~repro.costs.measure.MeasuredCostModel` -- actually times each
+  operator with the numpy backend (slow; closest analogue of the paper's
+  measured model).
+
+All models share the :class:`~repro.costs.model.CostModel` interface and are
+deterministic, which is what the who-wins comparisons in the benchmarks rely
+on.
+"""
+
+from repro.costs.device import DeviceProfile
+from repro.costs.flops import op_bytes, op_flops
+from repro.costs.model import AnalyticCostModel, CostModel, TableCostModel
+from repro.costs.measure import MeasuredCostModel
+
+__all__ = [
+    "DeviceProfile",
+    "CostModel",
+    "AnalyticCostModel",
+    "TableCostModel",
+    "MeasuredCostModel",
+    "op_flops",
+    "op_bytes",
+]

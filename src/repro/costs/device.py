@@ -1,0 +1,73 @@
+"""Device profiles for the analytic cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "T4", "CPU_REFERENCE"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Roofline-style description of an accelerator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_flops:
+        Peak floating-point throughput in FLOP/s.
+    memory_bandwidth:
+        Peak DRAM bandwidth in bytes/s.
+    kernel_launch_overhead:
+        Fixed per-kernel launch cost in seconds.  This is what makes merging
+        several small operators into one larger operator profitable even when
+        the arithmetic work is unchanged.
+    fused_activation_overhead:
+        Extra seconds charged when an activation is fused into a matmul/conv
+        kernel (small, but non-zero so fusion is not literally free).
+    efficiency:
+        Fraction of peak throughput that dense kernels actually reach.
+    """
+
+    name: str = "generic"
+    peak_flops: float = 8.1e12
+    memory_bandwidth: float = 300e9
+    kernel_launch_overhead: float = 5e-6
+    fused_activation_overhead: float = 0.5e-6
+    efficiency: float = 0.55
+
+    def compute_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations."""
+        if flops <= 0:
+            return 0.0
+        return flops / (self.peak_flops * self.efficiency)
+
+    def memory_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` through DRAM."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.memory_bandwidth
+
+
+#: An NVIDIA-T4-like profile (FP32 peak ~8.1 TFLOP/s, ~300 GB/s GDDR6).  The
+#: paper measures on a T4; only relative comparisons matter here.
+T4 = DeviceProfile(
+    name="nvidia-t4-like",
+    peak_flops=8.1e12,
+    memory_bandwidth=300e9,
+    kernel_launch_overhead=5e-6,
+    fused_activation_overhead=0.5e-6,
+    efficiency=0.55,
+)
+
+#: A CPU-like profile used by some tests to check that cost-model choices are
+#: profile-dependent (different devices can prefer different graphs).
+CPU_REFERENCE = DeviceProfile(
+    name="cpu-reference",
+    peak_flops=2.0e11,
+    memory_bandwidth=50e9,
+    kernel_launch_overhead=1e-7,
+    fused_activation_overhead=1e-8,
+    efficiency=0.8,
+)

@@ -1,0 +1,74 @@
+"""Per-operator FLOP and byte accounting.
+
+These functions compute the arithmetic work and memory traffic of a single
+operator from its operands' metadata.  They are deliberately simple: the cost
+model only needs to rank graphs consistently, not predict absolute runtimes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.ops import Activation, OpKind, symbol_to_op
+from repro.ir.tensor import DataKind, TensorData
+
+__all__ = ["op_flops", "op_bytes", "FLOAT_BYTES"]
+
+FLOAT_BYTES = 4  # FP32
+
+
+def _tensor_children(children: Sequence[TensorData]) -> list:
+    return [c for c in children if c.kind == DataKind.TENSOR]
+
+
+def op_flops(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
+    """Floating point operations performed by the operator."""
+    op, _ = symbol_to_op(symbol)
+
+    if op == OpKind.MATMUL:
+        a, b = children[1], children[2]
+        k = a.shape[-1]
+        flops = 2.0 * output.num_elements * k
+        if children[0].kind == DataKind.INT and children[0].value != Activation.NONE:
+            flops += output.num_elements
+        return flops
+
+    if op == OpKind.CONV:
+        w = children[5]
+        _, c_in_per_group, kh, kw = w.shape
+        flops = 2.0 * output.num_elements * c_in_per_group * kh * kw
+        if children[3].kind == DataKind.INT and children[3].value != Activation.NONE:
+            flops += output.num_elements
+        return flops
+
+    if op in (OpKind.EWADD, OpKind.EWMUL):
+        return float(output.num_elements)
+
+    if op in (OpKind.RELU, OpKind.TANH, OpKind.SIGMOID):
+        # Transcendentals cost a few flops per element; a small constant factor
+        # keeps tanh/sigmoid slightly more expensive than relu.
+        factor = 1.0 if op == OpKind.RELU else 4.0
+        return factor * output.num_elements
+
+    if op in (OpKind.POOLMAX, OpKind.POOLAVG):
+        kh = children[1].value if children[1].kind == DataKind.INT else 1
+        kw = children[2].value if children[2].kind == DataKind.INT else 1
+        return float(output.num_elements) * float(kh) * float(kw)
+
+    # Data-movement operators perform no arithmetic.
+    return 0.0
+
+
+def op_bytes(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
+    """Bytes read plus bytes written by the operator."""
+    op, _ = symbol_to_op(symbol)
+
+    if op in (OpKind.NUM, OpKind.STR, OpKind.INPUT, OpKind.WEIGHT, OpKind.NOOP):
+        return 0.0
+
+    read = sum(c.num_elements for c in _tensor_children(children))
+    if output.kind == DataKind.TUPLE:
+        written = sum(p.num_elements for p in output.parts)
+    else:
+        written = output.num_elements
+    return FLOAT_BYTES * float(read + written)

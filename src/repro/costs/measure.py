@@ -1,0 +1,93 @@
+"""A measured cost model: times each operator on the numpy backend.
+
+The paper's cost model uses the *measured* runtime of every operator on the
+target GPU.  The closest available analogue is to execute each operator with
+the numpy reference kernels and time it.  Results are cached per
+``(symbol, operand shapes, parameters)`` so each distinct configuration is
+measured once, exactly like TASO's operator cache.
+
+This model is far slower than :class:`~repro.costs.model.AnalyticCostModel`
+and is mainly useful for sanity checks that the analytic model ranks
+operators in a reasonable order; the benchmarks default to the analytic model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.model import CostModel, INVALID_COST
+from repro.ir.ops import OpKind, symbol_to_op
+from repro.ir.shapes import infer_symbol
+from repro.ir.tensor import DataKind, ShapeError, TensorData
+
+__all__ = ["MeasuredCostModel"]
+
+
+class MeasuredCostModel(CostModel):
+    """Times operators on the numpy backend, with caching and warmup."""
+
+    def __init__(self, repeats: int = 3, warmup: int = 1, seed: int = 0) -> None:
+        self.repeats = repeats
+        self.warmup = warmup
+        self._rng = np.random.default_rng(seed)
+        self._cache: Dict[Tuple, float] = {}
+
+    def _cache_key(self, symbol: str, children: Sequence[TensorData]) -> Tuple:
+        parts = [symbol]
+        for child in children:
+            if child.kind == DataKind.TENSOR:
+                parts.append(("T", child.shape))
+            elif child.kind == DataKind.TUPLE:
+                parts.append(("TT", tuple(p.shape for p in child.parts)))
+            else:
+                parts.append((child.kind.value, child.value))
+        return tuple(parts)
+
+    def _random_operand(self, data: TensorData) -> object:
+        if data.kind == DataKind.TENSOR:
+            return self._rng.standard_normal(data.shape).astype(np.float32)
+        if data.kind == DataKind.TUPLE:
+            return tuple(self._random_operand(p) for p in data.parts)
+        return data.value
+
+    def op_cost(
+        self,
+        symbol: str,
+        children: Sequence[TensorData],
+        output: Optional[TensorData] = None,
+    ) -> float:
+        from repro.backend.kernels import execute_symbol
+
+        op, _ = symbol_to_op(symbol)
+        if not op.is_compute:
+            return 0.0
+        if output is None:
+            try:
+                output = infer_symbol(symbol, children)
+            except ShapeError:
+                return INVALID_COST
+        if not output.is_valid:
+            return INVALID_COST
+        if output.kind in (DataKind.TENSOR, DataKind.TUPLE) and output.from_weights:
+            return 0.0
+
+        key = self._cache_key(symbol, children)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        operands = [self._random_operand(c) for c in children]
+        try:
+            for _ in range(self.warmup):
+                execute_symbol(symbol, operands, children)
+            start = time.perf_counter()
+            for _ in range(self.repeats):
+                execute_symbol(symbol, operands, children)
+            elapsed_ms = (time.perf_counter() - start) / self.repeats * 1e3
+        except (ShapeError, ValueError):
+            elapsed_ms = INVALID_COST
+        self._cache[key] = elapsed_ms
+        return elapsed_ms

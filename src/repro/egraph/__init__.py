@@ -1,0 +1,42 @@
+"""E-graph / equality saturation substrate.
+
+This subpackage is a from-scratch Python implementation of the machinery the
+paper builds on top of ``egg`` (Willsey et al., 2020):
+
+* :mod:`repro.egraph.unionfind`    -- disjoint-set forest.
+* :mod:`repro.egraph.language`     -- e-nodes and recursive expressions (terms).
+* :mod:`repro.egraph.egraph`       -- the e-graph itself (hash-consing, congruence closure,
+  e-class analyses).
+* :mod:`repro.egraph.pattern`      -- patterns with variables, parsed from S-expressions.
+* :mod:`repro.egraph.ematch`       -- e-matching (pattern search over an e-graph).
+* :mod:`repro.egraph.rewrite`      -- single-pattern rewrite rules.
+* :mod:`repro.egraph.multipattern` -- multi-pattern rewrite rules (paper Algorithm 1).
+* :mod:`repro.egraph.runner`       -- the saturation loop with limits and cycle filtering.
+* :mod:`repro.egraph.cycles`       -- vanilla and efficient cycle filtering (paper Algorithm 2).
+* :mod:`repro.egraph.extraction`   -- greedy and ILP extraction.
+"""
+
+from repro.egraph.egraph import EClass, EGraph
+from repro.egraph.language import ENode, RecExpr
+from repro.egraph.pattern import Pattern, PatternNode, PatternVar
+from repro.egraph.rewrite import Rewrite
+from repro.egraph.multipattern import MultiPatternRewrite
+from repro.egraph.runner import Runner, RunnerLimits, RunnerReport, StopReason
+from repro.egraph.unionfind import UnionFind
+
+__all__ = [
+    "EClass",
+    "EGraph",
+    "ENode",
+    "RecExpr",
+    "Pattern",
+    "PatternNode",
+    "PatternVar",
+    "Rewrite",
+    "MultiPatternRewrite",
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "StopReason",
+    "UnionFind",
+]

@@ -1,0 +1,116 @@
+"""E-class analyses.
+
+An e-class analysis (egg, Willsey et al. 2020) attaches a small piece of data
+to every e-class and keeps it up to date as the e-graph grows and e-classes
+merge.  TENSAT uses an analysis to store tensor metadata (shape, layout,
+split locations) which the shape-checking preconditions of rewrite rules and
+the cost model both consult (paper Section 6).
+
+The protocol mirrors egg's:
+
+* :meth:`Analysis.make` computes data for a *new* e-node from its children's data.
+* :meth:`Analysis.merge` combines the data of two e-classes being unioned and
+  reports whether the merged value differs from either input (so the e-graph
+  knows to re-propagate).
+* :meth:`Analysis.modify` may inspect/extend an e-class after its data changed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.egraph.egraph import EGraph
+    from repro.egraph.language import ENode
+
+__all__ = ["Analysis", "NoAnalysis", "DepthAnalysis"]
+
+
+class Analysis:
+    """Base class for e-class analyses.  Subclass and override the hooks."""
+
+    def make(self, egraph: "EGraph", enode: "ENode") -> Any:
+        """Compute the analysis data for a freshly added e-node."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Tuple[Any, bool]:
+        """Merge data from two e-classes being unioned.
+
+        Returns ``(merged, changed)`` where ``changed`` indicates the merged
+        value differs from ``a`` (the surviving class's previous data).
+        """
+        raise NotImplementedError
+
+    def modify(self, egraph: "EGraph", eclass_id: int) -> None:
+        """Optional hook run after an e-class's data is created or updated."""
+
+
+class NoAnalysis(Analysis):
+    """The trivial analysis: every e-class carries ``None``."""
+
+    def make(self, egraph: "EGraph", enode: "ENode") -> None:
+        return None
+
+    def merge(self, a: None, b: None) -> Tuple[None, bool]:
+        return None, False
+
+
+class DepthAnalysis(Analysis):
+    """Tracks the minimum term depth represented by each e-class.
+
+    Used in tests and as a simple example of a lattice-style analysis: the
+    merge takes the minimum, and adding smaller terms can only decrease it.
+    """
+
+    def make(self, egraph: "EGraph", enode: "ENode") -> int:
+        if not enode.children:
+            return 1
+        return 1 + max(egraph.analysis_data(c) for c in enode.children)
+
+    def merge(self, a: int, b: int) -> Tuple[int, bool]:
+        merged = min(a, b)
+        return merged, merged != a
+
+
+class ConstantFoldAnalysis(Analysis):
+    """Example analysis: fold integer arithmetic (``+``, ``*``, ``<<``).
+
+    Only used by unit tests and documentation examples; the tensor analysis
+    used by TENSAT proper lives in :mod:`repro.ir.convert`.
+    """
+
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "*": lambda a, b: a * b,
+        "<<": lambda a, b: a << b,
+        "-": lambda a, b: a - b,
+    }
+
+    def make(self, egraph: "EGraph", enode: "ENode") -> Optional[int]:
+        if not enode.children:
+            try:
+                return int(enode.op)
+            except ValueError:
+                return None
+        fn = self._OPS.get(enode.op)
+        if fn is None or len(enode.children) != 2:
+            return None
+        a = egraph.analysis_data(enode.children[0])
+        b = egraph.analysis_data(enode.children[1])
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    def merge(self, a: Optional[int], b: Optional[int]) -> Tuple[Optional[int], bool]:
+        if a is None and b is not None:
+            return b, True
+        return a, False
+
+    def modify(self, egraph: "EGraph", eclass_id: int) -> None:
+        value = egraph.analysis_data(eclass_id)
+        if value is None:
+            return
+        from repro.egraph.language import ENode
+
+        const_id = egraph.add(ENode(str(value)))
+        egraph.union(eclass_id, const_id)

@@ -1,0 +1,318 @@
+"""The e-graph data structure.
+
+An e-graph is a union-find over e-class ids, a hash-cons mapping canonical
+e-nodes to the e-class containing them, and per-e-class node lists / parent
+lists / analysis data.  The implementation follows ``egg``'s deferred
+*rebuilding* design: unions only record work in a dirty list and
+:meth:`EGraph.rebuild` restores the congruence invariant in a batch, which is
+what makes equality saturation iterations cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.egraph.analysis import Analysis, NoAnalysis
+from repro.egraph.language import ENode, RecExpr
+from repro.egraph.unionfind import UnionFind
+
+__all__ = ["EClass", "EGraph"]
+
+
+@dataclass
+class EClass:
+    """A single equivalence class of e-nodes."""
+
+    id: int
+    nodes: List[ENode] = field(default_factory=list)
+    # (parent enode as stored at insertion time, e-class the parent lives in)
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+    data: Any = None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+class EGraph:
+    """E-graph with hash-consing, deferred rebuilding, and e-class analyses.
+
+    Parameters
+    ----------
+    analysis:
+        The e-class analysis to maintain.  Defaults to :class:`NoAnalysis`.
+    """
+
+    def __init__(self, analysis: Optional[Analysis] = None) -> None:
+        self.analysis: Analysis = analysis if analysis is not None else NoAnalysis()
+        self._uf = UnionFind()
+        self._classes: Dict[int, EClass] = {}
+        self._memo: Dict[ENode, int] = {}
+        self._pending: List[int] = []  # e-classes whose parents need re-canonicalising
+        self._analysis_pending: List[int] = []
+        # Monotonically increasing insertion stamp for each distinct e-node.
+        self._node_birth: Dict[ENode, int] = {}
+        self._birth_counter = itertools.count()
+        self._n_unions = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Total number of e-nodes across all e-classes."""
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    @property
+    def num_eclasses(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_enodes(self) -> int:
+        return len(self)
+
+    @property
+    def num_unions(self) -> int:
+        return self._n_unions
+
+    def classes(self) -> Iterable[EClass]:
+        """Iterate over the canonical e-classes."""
+        return self._classes.values()
+
+    def eclass_ids(self) -> List[int]:
+        return list(self._classes.keys())
+
+    def __getitem__(self, eclass_id: int) -> EClass:
+        return self._classes[self.find(eclass_id)]
+
+    def find(self, eclass_id: int) -> int:
+        """Canonical id of the e-class containing ``eclass_id``."""
+        return self._uf.find(eclass_id)
+
+    def analysis_data(self, eclass_id: int) -> Any:
+        return self._classes[self.find(eclass_id)].data
+
+    def node_birth(self, enode: ENode) -> int:
+        """Insertion stamp of ``enode`` (used by cycle filtering to find the newest node)."""
+        return self._node_birth.get(self.canonicalize(enode), -1)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def canonicalize(self, enode: ENode) -> ENode:
+        """Return ``enode`` with all children replaced by canonical e-class ids."""
+        return enode.map_children(self._uf.find)
+
+    def lookup(self, enode: ENode) -> Optional[int]:
+        """Return the e-class of ``enode`` if it is already present."""
+        canonical = self.canonicalize(enode)
+        found = self._memo.get(canonical)
+        return None if found is None else self.find(found)
+
+    def add(self, enode: ENode) -> int:
+        """Add ``enode``; return the id of its e-class (existing or new)."""
+        canonical = self.canonicalize(enode)
+        existing = self._memo.get(canonical)
+        if existing is not None:
+            return self.find(existing)
+
+        eclass_id = self._uf.make_set()
+        eclass = EClass(id=eclass_id, nodes=[canonical])
+        self._classes[eclass_id] = eclass
+        self._memo[canonical] = eclass_id
+        self._node_birth[canonical] = next(self._birth_counter)
+        for child in set(canonical.children):
+            self._classes[self.find(child)].parents.append((canonical, eclass_id))
+
+        eclass.data = self.analysis.make(self, canonical)
+        self.analysis.modify(self, eclass_id)
+        return self.find(eclass_id)
+
+    def add_expr(self, expr: RecExpr, index: Optional[int] = None) -> int:
+        """Add every node of ``expr`` and return the e-class of its root (or ``index``)."""
+        if index is None:
+            index = expr.root
+        ids: List[int] = []
+        for node in expr.nodes:
+            ids.append(self.add(node.map_children(lambda c: ids[c])))
+        return self.find(ids[index])
+
+    def add_term(self, text_or_sexpr) -> int:
+        """Convenience: parse an S-expression (or accept a RecExpr) and add it."""
+        if isinstance(text_or_sexpr, RecExpr):
+            return self.add_expr(text_or_sexpr)
+        if isinstance(text_or_sexpr, str):
+            return self.add_expr(RecExpr.parse(text_or_sexpr))
+        return self.add_expr(RecExpr.from_sexpr(text_or_sexpr))
+
+    def union(self, a: int, b: int) -> int:
+        """Assert that e-classes ``a`` and ``b`` are equivalent."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+
+        self._n_unions += 1
+        new_root = self._uf.union(ra, rb)
+        other = rb if new_root == ra else ra
+
+        winner = self._classes[new_root]
+        loser = self._classes.pop(other)
+
+        winner.nodes.extend(loser.nodes)
+        winner.parents.extend(loser.parents)
+
+        merged, changed = self.analysis.merge(winner.data, loser.data)
+        winner.data = merged
+        self._pending.append(new_root)
+        if changed:
+            self._analysis_pending.append(new_root)
+        self.analysis.modify(self, new_root)
+        return new_root
+
+    # ------------------------------------------------------------------ #
+    # Rebuilding (congruence closure restoration)
+    # ------------------------------------------------------------------ #
+
+    def rebuild(self) -> int:
+        """Restore the congruence and hash-cons invariants after unions.
+
+        Returns the number of additional unions performed.
+        """
+        n_before = self._n_unions
+        while self._pending or self._analysis_pending:
+            todo = {self.find(e) for e in self._pending}
+            self._pending.clear()
+            for eclass_id in todo:
+                self._repair(eclass_id)
+
+            analysis_todo = {self.find(e) for e in self._analysis_pending}
+            self._analysis_pending.clear()
+            for eclass_id in analysis_todo:
+                self._repair_analysis(eclass_id)
+        return self._n_unions - n_before
+
+    def _repair(self, eclass_id: int) -> None:
+        eclass = self._classes.get(self.find(eclass_id))
+        if eclass is None:
+            return
+
+        # Re-canonicalise parents in the hash-cons; congruent parents get unioned.
+        new_parents: Dict[ENode, int] = {}
+        for parent_node, parent_class in eclass.parents:
+            self._memo.pop(parent_node, None)
+            canonical = self.canonicalize(parent_node)
+            parent_class = self.find(parent_class)
+            previous = new_parents.get(canonical)
+            if previous is not None:
+                parent_class = self.union(previous, parent_class)
+            existing = self._memo.get(canonical)
+            if existing is not None and self.find(existing) != parent_class:
+                parent_class = self.union(existing, parent_class)
+            self._memo[canonical] = parent_class
+            if canonical not in self._node_birth:
+                self._node_birth[canonical] = self._node_birth.get(parent_node, next(self._birth_counter))
+            new_parents[canonical] = self.find(parent_class)
+
+        eclass = self._classes.get(self.find(eclass_id))
+        if eclass is not None:
+            eclass.parents = [(node, cls) for node, cls in new_parents.items()]
+            # Deduplicate the e-nodes within the class under canonicalisation.
+            deduped: Dict[ENode, None] = {}
+            for node in eclass.nodes:
+                deduped.setdefault(self.canonicalize(node), None)
+            eclass.nodes = list(deduped.keys())
+
+    def _repair_analysis(self, eclass_id: int) -> None:
+        eclass = self._classes.get(self.find(eclass_id))
+        if eclass is None:
+            return
+        for parent_node, parent_class in list(eclass.parents):
+            parent_class = self.find(parent_class)
+            parent = self._classes[parent_class]
+            new_data = self.analysis.make(self, self.canonicalize(parent_node))
+            merged, changed = self.analysis.merge(parent.data, new_data)
+            if changed:
+                parent.data = merged
+                self._analysis_pending.append(parent_class)
+                self.analysis.modify(self, parent_class)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def is_clean(self) -> bool:
+        """True when no rebuilding work is pending."""
+        return not self._pending and not self._analysis_pending
+
+    def equivalent(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def enodes(self) -> Iterable[Tuple[int, ENode]]:
+        """Iterate ``(eclass_id, enode)`` over all canonical e-nodes."""
+        for eclass in self._classes.values():
+            for node in eclass.nodes:
+                yield eclass.id, node
+
+    def nodes_by_op(self) -> Dict[str, List[Tuple[int, ENode]]]:
+        """Group canonical e-nodes by operator (used by e-matching)."""
+        table: Dict[str, List[Tuple[int, ENode]]] = {}
+        for eclass_id, node in self.enodes():
+            table.setdefault(node.op, []).append((eclass_id, node))
+        return table
+
+    def represents(self, eclass_id: int, expr: RecExpr, index: Optional[int] = None) -> bool:
+        """Check whether ``expr`` is represented by e-class ``eclass_id``."""
+        if index is None:
+            index = expr.root
+
+        def go(i: int, cls: int) -> bool:
+            cls = self.find(cls)
+            target = expr.nodes[i]
+            for node in self._classes[cls].nodes:
+                if node.op == target.op and len(node.children) == len(target.children):
+                    if all(go(ci, cc) for ci, cc in zip(target.children, node.children)):
+                        return True
+            return False
+
+        return go(index, eclass_id)
+
+    def extract_any(self, eclass_id: int) -> RecExpr:
+        """Extract *some* represented term (smallest by node count, greedy)."""
+        from repro.egraph.extraction.greedy import GreedyExtractor
+
+        extractor = GreedyExtractor(node_cost=lambda enode, egraph: 1.0)
+        return extractor.extract(self, eclass_id).expr
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def to_dot(self) -> str:
+        """Render the e-graph in Graphviz dot format (for debugging/docs)."""
+        lines = ["digraph egraph {", "  compound=true;", "  node [shape=record];"]
+        for eclass in self._classes.values():
+            lines.append(f"  subgraph cluster_{eclass.id} {{")
+            lines.append(f'    label="e-class {eclass.id}";')
+            for i, node in enumerate(eclass.nodes):
+                label = node.op.replace('"', '\\"')
+                lines.append(f'    n{eclass.id}_{i} [label="{label}"];')
+            lines.append("  }")
+        for eclass in self._classes.values():
+            for i, node in enumerate(eclass.nodes):
+                for child in node.children:
+                    child = self.find(child)
+                    lines.append(f"  n{eclass.id}_{i} -> n{child}_0 [lhead=cluster_{child}];")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "eclasses": self.num_eclasses,
+            "enodes": self.num_enodes,
+            "unions": self.num_unions,
+        }

@@ -1,0 +1,118 @@
+"""E-matching: searching for pattern matches in an e-graph.
+
+Given a pattern ``l`` (a term with variables) and an e-graph, e-matching finds
+all substitutions ``sigma`` (variable -> e-class) and root e-classes such that
+``l[sigma]`` is represented by the root e-class (paper Section 2.2).
+
+The matcher below is the classical backtracking relational matcher: it walks
+the pattern top-down against each candidate e-node, branching on every e-node
+of the right operator/arity within an e-class, and threading a substitution
+that must stay consistent.  This matches the behaviour of egg's virtual
+machine matcher, albeit less optimised -- adequate for the graph sizes a
+pure-Python reproduction targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar, Substitution
+
+__all__ = ["Match", "search_pattern", "search_eclass", "count_matches"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A single pattern match: the root e-class and the variable bindings."""
+
+    eclass: int
+    subst: Dict[str, int]
+
+    def canonical(self, egraph: EGraph) -> "Match":
+        return Match(
+            eclass=egraph.find(self.eclass),
+            subst={k: egraph.find(v) for k, v in self.subst.items()},
+        )
+
+
+def _match_term(
+    egraph: EGraph,
+    term: PatternTerm,
+    eclass_id: int,
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    """Yield all extensions of ``subst`` matching ``term`` against ``eclass_id``."""
+    eclass_id = egraph.find(eclass_id)
+
+    if isinstance(term, PatternVar):
+        bound = subst.get(term.name)
+        if bound is None:
+            new_subst = dict(subst)
+            new_subst[term.name] = eclass_id
+            yield new_subst
+        elif egraph.find(bound) == eclass_id:
+            yield subst
+        return
+
+    arity = len(term.children)
+    for enode in egraph[eclass_id].nodes:
+        if enode.op != term.op or len(enode.children) != arity:
+            continue
+        if arity == 0:
+            yield subst
+            continue
+        # Match children left-to-right, threading the substitution.
+        stack: List[Substitution] = [subst]
+        for child_term, child_class in zip(term.children, enode.children):
+            next_stack: List[Substitution] = []
+            for s in stack:
+                next_stack.extend(_match_term(egraph, child_term, child_class, s))
+            stack = next_stack
+            if not stack:
+                break
+        for s in stack:
+            yield s
+
+
+def search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int) -> List[Match]:
+    """All matches of ``pattern`` rooted at ``eclass_id``."""
+    eclass_id = egraph.find(eclass_id)
+    results: List[Match] = []
+    seen = set()
+    for subst in _match_term(egraph, pattern.root, eclass_id, {}):
+        canon = {k: egraph.find(v) for k, v in subst.items()}
+        key = tuple(sorted(canon.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(Match(eclass=eclass_id, subst=canon))
+    return results
+
+
+def search_pattern(egraph: EGraph, pattern: Pattern) -> List[Match]:
+    """All matches of ``pattern`` anywhere in the e-graph.
+
+    The search is seeded from e-classes that contain at least one e-node whose
+    operator equals the pattern root's operator, which avoids a full scan per
+    e-class for selective patterns.
+    """
+    root = pattern.root
+    matches: List[Match] = []
+
+    if isinstance(root, PatternVar):
+        # Degenerate: matches every e-class with an empty binding to itself.
+        for eclass in egraph.classes():
+            matches.append(Match(eclass=eclass.id, subst={root.name: eclass.id}))
+        return matches
+
+    by_op = egraph.nodes_by_op().get(root.op, [])
+    candidate_classes = sorted({egraph.find(eclass_id) for eclass_id, _ in by_op})
+    for eclass_id in candidate_classes:
+        matches.extend(search_eclass(egraph, pattern, eclass_id))
+    return matches
+
+
+def count_matches(egraph: EGraph, pattern: Pattern) -> int:
+    return len(search_pattern(egraph, pattern))

@@ -1,0 +1,18 @@
+"""Extraction: selecting the best represented term from an e-graph.
+
+Two extractors are provided, matching the paper's Section 5:
+
+* :class:`~repro.egraph.extraction.greedy.GreedyExtractor` -- bottom-up
+  fixpoint that picks, per e-class, the e-node with the smallest subtree cost.
+  Fast, but ignores sharing between subtrees and can therefore miss the
+  optimum (paper Section 6.5, Table 4).
+* :class:`~repro.egraph.extraction.ilp.ILPExtractor` -- 0/1 integer linear
+  program over e-node selection variables, optionally with topological-order
+  variables that forbid cycles (paper constraints (1)-(5)).
+"""
+
+from repro.egraph.extraction.base import ExtractionResult, Extractor
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+
+__all__ = ["ExtractionResult", "Extractor", "GreedyExtractor", "ILPExtractor"]

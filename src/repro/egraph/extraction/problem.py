@@ -1,0 +1,268 @@
+"""Construction of the extraction ILP (paper Section 5.1, constraints (1)-(5)).
+
+The problem is built once as plain numpy/scipy-sparse data so it can be handed
+to either solver backend (:mod:`scipy.optimize.milp` or the pure-Python
+branch-and-bound in :mod:`repro.egraph.extraction.bnb`), and so tests can
+inspect the formulation directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.egraph.cycles import FilterList
+from repro.egraph.egraph import EGraph
+from repro.egraph.extraction.base import NodeCost
+from repro.egraph.language import ENode
+
+__all__ = ["ILPVariables", "ILPProblem", "build_extraction_problem"]
+
+#: Nodes whose cost reaches this threshold (shape-invalid operands) are forced
+#: to x_i = 0, exactly like filter-list entries; this keeps the objective well
+#: scaled for the MIP solver.
+UNSELECTABLE_COST = 1e5
+
+
+@dataclass
+class ILPVariables:
+    """Bookkeeping that maps ILP variables back to e-graph entities."""
+
+    #: canonical e-class ids in a fixed order; ``t`` variables follow this order
+    class_ids: List[int]
+    #: per variable index: (class position in ``class_ids``, the e-node)
+    nodes: List[Tuple[int, ENode]]
+    #: index of the root e-class within ``class_ids``
+    root_position: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_ids)
+
+
+@dataclass
+class ILPProblem:
+    """A mixed 0/1 linear program ``min c@x  s.t.  A_ub@x <= b_ub, A_eq@x == b_eq``."""
+
+    c: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray  # 1 = integer variable, 0 = continuous
+    variables: ILPVariables
+    with_cycle_constraints: bool
+    integer_topo: bool
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.c)
+
+
+def build_extraction_problem(
+    egraph: EGraph,
+    root: int,
+    node_cost: NodeCost,
+    with_cycle_constraints: bool = False,
+    integer_topo: bool = False,
+    filter_list: Optional[FilterList] = None,
+    at_most_one_per_class: bool = True,
+) -> ILPProblem:
+    """Build the extraction ILP.
+
+    Variables are ``x_i`` (one binary per e-node) followed, when
+    ``with_cycle_constraints`` is set, by ``t_m`` (one topological-order
+    variable per e-class -- real in ``[0, 1]`` or integer in ``[0, M-1]``).
+
+    Constraints (numbered as in the paper):
+
+    2. exactly one e-node is picked in the root e-class;
+    3. a picked e-node forces at least one pick in each child e-class;
+    4. (optional) topological-order constraints that forbid cycles;
+    5. bounds on the ``t`` variables.
+
+    Nodes on the filter list (paper Section 5.2) get an explicit ``x_i = 0``
+    via their upper bound.
+
+    ``at_most_one_per_class`` adds ``sum_{i in e_m} x_i <= 1`` rows for every
+    e-class.  The paper's formulation omits them and relies on the fact that
+    an optimal solution never selects two nodes from one class; adding them is
+    a standard strengthening that does not change the optimum but tightens the
+    LP relaxation considerably, which matters for the open-source MIP solver
+    used here.
+    """
+    root = egraph.find(root)
+    filtered = filter_list.as_set(egraph) if filter_list is not None else frozenset()
+
+    # Only e-classes reachable from the root through unfiltered e-nodes can
+    # ever be selected, so restrict the problem to them.  This keeps the ILP
+    # size proportional to the useful part of the e-graph.
+    reachable: set = set()
+    stack = [root]
+    while stack:
+        cid = egraph.find(stack.pop())
+        if cid in reachable:
+            continue
+        reachable.add(cid)
+        for node in egraph[cid].nodes:
+            canonical = egraph.canonicalize(node)
+            if canonical in filtered:
+                continue
+            for child in canonical.children:
+                child = egraph.find(child)
+                if child not in reachable:
+                    stack.append(child)
+
+    class_ids = sorted(reachable)
+    class_pos: Dict[int, int] = {cid: i for i, cid in enumerate(class_ids)}
+    if root not in class_pos:
+        raise ValueError(f"root e-class {root} not present in the e-graph")
+
+    nodes: List[Tuple[int, ENode]] = []
+    nodes_filtered: List[bool] = []
+    class_node_indices: Dict[int, List[int]] = {cid: [] for cid in class_ids}
+    seen_per_class: Dict[int, set] = {cid: set() for cid in class_ids}
+    for eclass in egraph.classes():
+        cid = egraph.find(eclass.id)
+        if cid not in class_pos:
+            continue
+        for node in eclass.nodes:
+            canonical = egraph.canonicalize(node)
+            if canonical in seen_per_class[cid]:
+                continue
+            # E-nodes whose children fall outside the reachable set can only
+            # occur through filtered children; they can never be selected.
+            if any(egraph.find(ch) not in class_pos for ch in canonical.children):
+                continue
+            seen_per_class[cid].add(canonical)
+            idx = len(nodes)
+            nodes.append((class_pos[cid], canonical))
+            nodes_filtered.append(canonical in filtered)
+            class_node_indices[cid].append(idx)
+
+    n_nodes = len(nodes)
+    n_classes = len(class_ids)
+    n_vars = n_nodes + (n_classes if with_cycle_constraints else 0)
+
+    # Objective
+    c = np.zeros(n_vars)
+    for i, (_, node) in enumerate(nodes):
+        c[i] = node_cost(node, egraph)
+
+    # Bounds and integrality
+    lower = np.zeros(n_vars)
+    upper = np.ones(n_vars)
+    integrality = np.zeros(n_vars)
+    integrality[:n_nodes] = 1
+    for i, is_filtered in enumerate(nodes_filtered):
+        if is_filtered or c[i] >= UNSELECTABLE_COST:
+            upper[i] = 0.0
+            c[i] = 0.0
+    if with_cycle_constraints:
+        if integer_topo:
+            upper[n_nodes:] = max(n_classes - 1, 0)
+            integrality[n_nodes:] = 1
+        else:
+            upper[n_nodes:] = 1.0
+
+    # Equality constraint (2): exactly one pick in the root class.
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    for idx in class_node_indices[root]:
+        eq_rows.append(0)
+        eq_cols.append(idx)
+        eq_vals.append(1.0)
+    a_eq = sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(1, n_vars))
+    b_eq = np.array([1.0])
+
+    # Inequality constraints.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    b_ub: List[float] = []
+    row = 0
+
+    eps = 1.0 / (2 * max(n_classes, 1))
+    big_a = float(n_classes + 1) if integer_topo else 1.0 + 2 * eps
+
+    if at_most_one_per_class:
+        for cid in class_ids:
+            indices = class_node_indices[cid]
+            if len(indices) <= 1:
+                continue
+            for j in indices:
+                ub_rows.append(row)
+                ub_cols.append(j)
+                ub_vals.append(1.0)
+            b_ub.append(1.0)
+            row += 1
+
+    for i, (cls_pos, node) in enumerate(nodes):
+        child_classes = {egraph.find(ch) for ch in node.children}
+        for m in child_classes:
+            # (3)  x_i - sum_{j in e_m} x_j <= 0
+            ub_rows.append(row)
+            ub_cols.append(i)
+            ub_vals.append(1.0)
+            for j in class_node_indices[m]:
+                ub_rows.append(row)
+                ub_cols.append(j)
+                ub_vals.append(-1.0)
+            b_ub.append(0.0)
+            row += 1
+
+            if with_cycle_constraints and m != class_ids[cls_pos]:
+                # (4)  t_g(i) - t_m - eps + A*(1 - x_i) >= 0   (real topo vars)
+                #      t_g(i) - t_m + A*(1 - x_i) >= 1          (integer topo vars)
+                # rewritten as  -t_g + t_m + A*x_i <= A - rhs_gap
+                rhs_gap = 1.0 if integer_topo else eps
+                ub_rows.append(row)
+                ub_cols.append(n_nodes + cls_pos)
+                ub_vals.append(-1.0)
+                ub_rows.append(row)
+                ub_cols.append(n_nodes + class_pos[m])
+                ub_vals.append(1.0)
+                ub_rows.append(row)
+                ub_cols.append(i)
+                ub_vals.append(big_a)
+                b_ub.append(big_a - rhs_gap)
+                row += 1
+            elif with_cycle_constraints and m == class_ids[cls_pos]:
+                # Self-loop e-node: can never be picked in an acyclic solution.
+                ub_rows.append(row)
+                ub_cols.append(i)
+                ub_vals.append(1.0)
+                b_ub.append(0.0)
+                row += 1
+
+    a_ub = sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(max(row, 1), n_vars))
+    b_ub_arr = np.array(b_ub if b_ub else [0.0])
+    if row == 0:
+        # No inequality constraints at all (single-node e-graph); keep shapes consistent.
+        a_ub = sparse.csr_matrix((1, n_vars))
+        b_ub_arr = np.array([0.0])
+
+    variables = ILPVariables(class_ids=class_ids, nodes=nodes, root_position=class_pos[root])
+    return ILPProblem(
+        c=c,
+        a_ub=a_ub,
+        b_ub=b_ub_arr,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        lower=lower,
+        upper=upper,
+        integrality=integrality,
+        variables=variables,
+        with_cycle_constraints=with_cycle_constraints,
+        integer_topo=integer_topo,
+    )

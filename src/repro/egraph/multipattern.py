@@ -1,0 +1,227 @@
+"""Multi-pattern rewrite rules (paper Section 4, Algorithm 1).
+
+A multi-pattern rewrite has a *source* consisting of several S-expressions
+(each rooted at one output) and a *target* with the same number of roots.
+The rule states the equivalence of each pair of matched outputs.  The
+canonical example (paper Figure 2) merges two ``matmul`` operators sharing an
+input into one ``matmul`` over concatenated weights followed by a ``split``.
+
+The application algorithm follows the paper:
+
+1. Canonicalize the source patterns by variable renaming and collect the
+   unique canonical patterns (so syntactically identical sources across rules
+   and across the outputs of one rule are only e-matched once).
+2. Each iteration, run the single-pattern e-matcher on every canonical
+   pattern.
+3. For every rule, take the Cartesian product of the (decanonicalized)
+   matches of its source patterns, keep only combinations whose shared
+   variables map to the same e-class, and apply those.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import Match, search_pattern
+from repro.egraph.pattern import Pattern, Substitution
+
+__all__ = ["MultiMatch", "MultiPatternRewrite", "MultiPatternSearcher"]
+
+MultiCondition = Callable[[EGraph, "MultiMatch"], bool]
+
+
+@dataclass(frozen=True)
+class MultiMatch:
+    """A compatible combination of matches, one per source pattern."""
+
+    eclasses: Tuple[int, ...]  # matched root e-class of each source output
+    subst: Dict[str, int]  # merged substitution over all source variables
+
+    def canonical(self, egraph: EGraph) -> "MultiMatch":
+        return MultiMatch(
+            eclasses=tuple(egraph.find(c) for c in self.eclasses),
+            subst={k: egraph.find(v) for k, v in self.subst.items()},
+        )
+
+
+@dataclass
+class MultiPatternRewrite:
+    """A rewrite whose source and target each have several matched outputs."""
+
+    name: str
+    sources: List[Pattern]
+    targets: List[Pattern]
+    condition: Optional[MultiCondition] = None
+    #: Skip combinations where all matched output e-classes coincide (the
+    #: degenerate case of a symmetric rule matching one node against itself,
+    #: e.g. merging a matmul with itself -- valid but useless, and a major
+    #: source of e-graph blow-up).
+    skip_identical: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != len(self.targets):
+            raise ValueError(
+                f"multi-pattern rewrite {self.name!r}: {len(self.sources)} source outputs "
+                f"but {len(self.targets)} target outputs"
+            )
+        if not self.sources:
+            raise ValueError(f"multi-pattern rewrite {self.name!r} has no outputs")
+        source_vars = set()
+        for p in self.sources:
+            source_vars.update(p.variables())
+        for p in self.targets:
+            unbound = set(p.variables()) - source_vars
+            if unbound:
+                raise ValueError(
+                    f"multi-pattern rewrite {self.name!r}: target uses unbound variables {sorted(unbound)}"
+                )
+
+    @classmethod
+    def parse(
+        cls,
+        name: str,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        condition: Optional[MultiCondition] = None,
+        skip_identical: bool = True,
+    ) -> "MultiPatternRewrite":
+        return cls(
+            name=name,
+            sources=[Pattern.parse(s) for s in sources],
+            targets=[Pattern.parse(t) for t in targets],
+            condition=condition,
+            skip_identical=skip_identical,
+        )
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.sources)
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _decanonicalize(match: Match, rename_map: Dict[str, str]) -> Match:
+        return Match(
+            eclass=match.eclass,
+            subst={rename_map[var]: cls for var, cls in match.subst.items()},
+        )
+
+    @staticmethod
+    def _compatible(substs: Sequence[Substitution]) -> Optional[Substitution]:
+        """Merge substitutions; return None when shared variables disagree."""
+        merged: Dict[str, int] = {}
+        for subst in substs:
+            for var, cls in subst.items():
+                existing = merged.get(var)
+                if existing is None:
+                    merged[var] = cls
+                elif existing != cls:
+                    return None
+        return merged
+
+    def combine(
+        self,
+        egraph: EGraph,
+        per_source_matches: Sequence[Sequence[Match]],
+        max_combinations: Optional[int] = None,
+    ) -> List[MultiMatch]:
+        """Cartesian-product the per-source matches and keep compatible ones."""
+        combos: List[MultiMatch] = []
+        count = 0
+        for combination in itertools.product(*per_source_matches):
+            count += 1
+            if max_combinations is not None and count > max_combinations:
+                break
+            if self.skip_identical and len(combination) > 1:
+                if len({m.eclass for m in combination}) == 1:
+                    continue
+            merged = self._compatible([m.subst for m in combination])
+            if merged is None:
+                continue
+            multi = MultiMatch(eclasses=tuple(m.eclass for m in combination), subst=merged)
+            if self.condition is not None and not self.condition(egraph, multi):
+                continue
+            combos.append(multi)
+        return combos
+
+    def search(
+        self, egraph: EGraph, max_combinations: Optional[int] = None
+    ) -> List[MultiMatch]:
+        """Stand-alone search (used by tests); the runner goes through :class:`MultiPatternSearcher`."""
+        per_source = [search_pattern(egraph, p) for p in self.sources]
+        return self.combine(egraph, per_source, max_combinations)
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+
+    def apply_match(self, egraph: EGraph, multi: MultiMatch) -> bool:
+        """Instantiate every target output and union it with its matched output."""
+        grew = False
+        before = egraph.num_unions
+        for target, matched_class in zip(self.targets, multi.eclasses):
+            added = target.instantiate(egraph, multi.subst)
+            egraph.union(matched_class, added)
+        return egraph.num_unions != before
+
+    def __str__(self) -> str:
+        srcs = ", ".join(str(p) for p in self.sources)
+        tgts = ", ".join(str(p) for p in self.targets)
+        return f"{self.name}: [{srcs}] => [{tgts}]"
+
+
+class MultiPatternSearcher:
+    """Shares e-matching work across the source patterns of many rules.
+
+    This implements lines 1--8 and 10--15 of Algorithm 1: canonicalize every
+    source pattern once up front, search each *unique* canonical pattern once
+    per iteration, then hand decanonicalized per-source match lists back to
+    each rule for combination.
+    """
+
+    def __init__(self, rules: Sequence[MultiPatternRewrite]) -> None:
+        self.rules = list(rules)
+        # canonical pattern string -> canonical Pattern
+        self._canonical_patterns: Dict[str, Pattern] = {}
+        # per rule, per source index: (canonical key, rename map canonical->original)
+        self._rule_sources: List[List[Tuple[str, Dict[str, str]]]] = []
+        for rule in self.rules:
+            entries: List[Tuple[str, Dict[str, str]]] = []
+            for source in rule.sources:
+                canonical, rename_map = source.canonicalize()
+                key = str(canonical)
+                self._canonical_patterns.setdefault(key, canonical)
+                entries.append((key, rename_map))
+            self._rule_sources.append(entries)
+
+    @property
+    def num_unique_patterns(self) -> int:
+        return len(self._canonical_patterns)
+
+    def search(
+        self,
+        egraph: EGraph,
+        max_combinations: Optional[int] = None,
+    ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
+        """One iteration's worth of matches for every rule."""
+        canonical_matches: Dict[str, List[Match]] = {
+            key: search_pattern(egraph, pattern)
+            for key, pattern in self._canonical_patterns.items()
+        }
+        results: List[Tuple[MultiPatternRewrite, List[MultiMatch]]] = []
+        for rule, entries in zip(self.rules, self._rule_sources):
+            per_source: List[List[Match]] = []
+            for key, rename_map in entries:
+                decanonicalized = [
+                    MultiPatternRewrite._decanonicalize(m, rename_map)
+                    for m in canonical_matches[key]
+                ]
+                per_source.append(decanonicalized)
+            combos = rule.combine(egraph, per_source, max_combinations)
+            results.append((rule, combos))
+        return results

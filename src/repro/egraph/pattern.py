@@ -1,0 +1,217 @@
+"""Patterns: terms with placeholder variables.
+
+A pattern is the left- or right-hand side of a rewrite rule (paper Section
+2.1).  Variables are written ``?name`` in the S-expression syntax, e.g.::
+
+    (matmul ?act ?input1 ?input2)
+
+Patterns support:
+
+* parsing from S-expressions,
+* instantiation under a substitution (variable -> e-class id),
+* canonicalization by variable renaming, used by the multi-pattern algorithm
+  (paper Algorithm 1) to share e-matching work between rules whose source
+  patterns differ only in variable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import sexpr as sx
+from repro.egraph.language import ENode, RecExpr
+
+__all__ = ["Pattern", "PatternNode", "PatternVar", "Substitution"]
+
+Substitution = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """A placeholder variable; matches any e-class."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """An operator applied to child pattern terms."""
+
+    op: str
+    children: Tuple["PatternTerm", ...] = ()
+
+    def __str__(self) -> str:
+        if not self.children:
+            return self.op
+        return f"({self.op} {' '.join(str(c) for c in self.children)})"
+
+
+PatternTerm = Union[PatternVar, PatternNode]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A complete pattern with a root term."""
+
+    root: PatternTerm
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str) -> "Pattern":
+        return cls.from_sexpr(sx.parse(text))
+
+    @classmethod
+    def from_sexpr(cls, expr: sx.SExpr) -> "Pattern":
+        return cls(cls._term_from_sexpr(expr))
+
+    @staticmethod
+    def _term_from_sexpr(expr: sx.SExpr) -> PatternTerm:
+        if isinstance(expr, str):
+            if sx.is_variable(expr):
+                return PatternVar(expr[1:])
+            return PatternNode(expr)
+        if not expr:
+            raise ValueError("empty list in pattern")
+        head = expr[0]
+        if not isinstance(head, str) or sx.is_variable(head):
+            raise ValueError(f"pattern operator must be a concrete atom, got {head!r}")
+        children = tuple(Pattern._term_from_sexpr(e) for e in expr[1:])
+        return PatternNode(head, children)
+
+    def __str__(self) -> str:
+        return str(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def variables(self) -> List[str]:
+        """Variable names in order of first appearance."""
+        seen: List[str] = []
+
+        def go(term: PatternTerm) -> None:
+            if isinstance(term, PatternVar):
+                if term.name not in seen:
+                    seen.append(term.name)
+            else:
+                for child in term.children:
+                    go(child)
+
+        go(self.root)
+        return seen
+
+    def size(self) -> int:
+        """Number of operator nodes (variables not counted)."""
+
+        def go(term: PatternTerm) -> int:
+            if isinstance(term, PatternVar):
+                return 0
+            return 1 + sum(go(c) for c in term.children)
+
+        return go(self.root)
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def ops(self) -> List[str]:
+        result: List[str] = []
+
+        def go(term: PatternTerm) -> None:
+            if isinstance(term, PatternNode):
+                result.append(term.op)
+                for child in term.children:
+                    go(child)
+
+        go(self.root)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Canonicalization (Algorithm 1, line 4)
+    # ------------------------------------------------------------------ #
+
+    def canonicalize(self) -> Tuple["Pattern", Dict[str, str]]:
+        """Rename variables to ``?c0, ?c1, ...`` in order of first appearance.
+
+        Returns ``(canonical_pattern, rename_map)`` where ``rename_map`` maps
+        each canonical variable name back to the original variable name, so a
+        match of the canonical pattern can be *decanonicalized*.
+        """
+        order = self.variables()
+        to_canonical = {name: f"c{i}" for i, name in enumerate(order)}
+        rename_map = {canonical: original for original, canonical in to_canonical.items()}
+
+        def go(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, PatternVar):
+                return PatternVar(to_canonical[term.name])
+            return PatternNode(term.op, tuple(go(c) for c in term.children))
+
+        return Pattern(go(self.root)), rename_map
+
+    # ------------------------------------------------------------------ #
+    # Instantiation
+    # ------------------------------------------------------------------ #
+
+    def instantiate(self, egraph, subst: Substitution) -> int:
+        """Add this pattern to ``egraph`` under ``subst`` and return the root e-class."""
+
+        def go(term: PatternTerm) -> int:
+            if isinstance(term, PatternVar):
+                try:
+                    return subst[term.name]
+                except KeyError as exc:
+                    raise KeyError(f"substitution missing variable ?{term.name}") from exc
+            child_ids = tuple(go(c) for c in term.children)
+            return egraph.add(ENode(term.op, child_ids))
+
+        return go(self.root)
+
+    def preview_enodes(self, subst: Substitution) -> List[ENode]:
+        """E-nodes that *would* be created by :meth:`instantiate` (bottom-up order).
+
+        Child ids referring to pattern-internal nodes are marked with negative
+        placeholders; only the e-classes drawn from ``subst`` appear as real
+        (non-negative) ids.  Used by cycle pre-filtering, which only needs to
+        know which existing e-classes the new subgraph hangs below.
+        """
+        nodes: List[ENode] = []
+
+        def go(term: PatternTerm) -> int:
+            if isinstance(term, PatternVar):
+                return subst[term.name]
+            child_ids = tuple(go(c) for c in term.children)
+            nodes.append(ENode(term.op, child_ids))
+            return -len(nodes)  # placeholder id for internal nodes
+
+        go(self.root)
+        return nodes
+
+    def substituted_leaves(self, subst: Substitution) -> List[int]:
+        """The e-class ids that this pattern's variables map to under ``subst``."""
+        return [subst[name] for name in self.variables()]
+
+    def to_recexpr(self, subst_terms: Optional[Dict[str, RecExpr]] = None) -> RecExpr:
+        """Convert a ground pattern (or one with RecExpr bindings) to a RecExpr."""
+        rec = RecExpr()
+        memo: Dict[ENode, int] = {}
+
+        def go(term: PatternTerm) -> int:
+            if isinstance(term, PatternVar):
+                if subst_terms is None or term.name not in subst_terms:
+                    raise ValueError(f"unbound variable ?{term.name} in pattern")
+                sub = subst_terms[term.name]
+                ids: List[int] = []
+                for node in sub.nodes:
+                    ids.append(rec.add_unique(node.map_children(lambda c: ids[c]), memo))
+                return ids[sub.root]
+            children = tuple(go(c) for c in term.children)
+            return rec.add_unique(ENode(term.op, children), memo)
+
+        go(self.root)
+        return rec

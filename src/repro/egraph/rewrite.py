@@ -1,0 +1,108 @@
+"""Single-pattern rewrite rules.
+
+A rewrite ``l -> r`` searches an e-graph for matches of the source pattern
+``l`` and, for every match ``sigma``, adds ``r[sigma]`` to the e-graph and
+unions it with the matched e-class (paper Section 2.2).  Rewrites may carry a
+*condition*: a predicate over the e-graph and the match that must hold before
+the rewrite is applied.  TENSAT uses conditions for shape checking (paper
+Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import Match, search_pattern
+from repro.egraph.pattern import Pattern
+
+__all__ = ["Rewrite", "bidirectional"]
+
+Condition = Callable[[EGraph, Match], bool]
+
+
+@dataclass
+class Rewrite:
+    """A named, optionally conditional, single-pattern rewrite rule."""
+
+    name: str
+    lhs: Pattern
+    rhs: Pattern
+    condition: Optional[Condition] = None
+
+    def __post_init__(self) -> None:
+        lhs_vars = set(self.lhs.variables())
+        rhs_vars = set(self.rhs.variables())
+        unbound = rhs_vars - lhs_vars
+        if unbound:
+            raise ValueError(
+                f"rewrite {self.name!r}: right-hand side uses variables not bound "
+                f"on the left-hand side: {sorted(unbound)}"
+            )
+
+    @classmethod
+    def parse(
+        cls,
+        name: str,
+        lhs: str,
+        rhs: str,
+        condition: Optional[Condition] = None,
+    ) -> "Rewrite":
+        """Build a rewrite from S-expression strings."""
+        return cls(name=name, lhs=Pattern.parse(lhs), rhs=Pattern.parse(rhs), condition=condition)
+
+    # ------------------------------------------------------------------ #
+    # Search / apply
+    # ------------------------------------------------------------------ #
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        """Find all matches of the source pattern."""
+        matches = search_pattern(egraph, self.lhs)
+        if self.condition is None:
+            return matches
+        return [m for m in matches if self.condition(egraph, m)]
+
+    def apply_match(self, egraph: EGraph, match: Match) -> Tuple[int, bool]:
+        """Apply this rewrite at ``match``.
+
+        Returns ``(root_eclass, changed)`` where ``changed`` is True when the
+        union actually merged two distinct e-classes (i.e. the rewrite added
+        information to the e-graph).
+        """
+        before = egraph.num_unions
+        added = self.rhs.instantiate(egraph, match.subst)
+        root = egraph.union(match.eclass, added)
+        grew = egraph.num_unions != before
+        return root, grew
+
+    def run(self, egraph: EGraph) -> int:
+        """Search then apply everywhere; returns the number of applications that changed the e-graph."""
+        changed = 0
+        for match in self.search(egraph):
+            _, grew = self.apply_match(egraph, match)
+            if grew:
+                changed += 1
+        return changed
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lhs} => {self.rhs}"
+
+
+def bidirectional(
+    name: str,
+    lhs: str,
+    rhs: str,
+    condition: Optional[Condition] = None,
+    reverse_condition: Optional[Condition] = None,
+) -> List[Rewrite]:
+    """Create both directions of an equivalence ``lhs <=> rhs``.
+
+    The reverse direction is only created when every variable of ``lhs``
+    appears in ``rhs`` (otherwise the reverse rule would be ill-formed).
+    """
+    rules = [Rewrite.parse(name, lhs, rhs, condition)]
+    forward = rules[0]
+    if set(forward.lhs.variables()) <= set(forward.rhs.variables()):
+        rules.append(Rewrite.parse(name + "-rev", rhs, lhs, reverse_condition))
+    return rules

@@ -1,0 +1,284 @@
+"""The exploration-phase driver (saturation runner).
+
+The runner repeatedly searches and applies rewrite rules until one of:
+
+* **saturation** -- an iteration adds no new information to the e-graph,
+* the e-graph exceeds a node limit (paper: ``N_max = 50000``),
+* an iteration limit is reached (paper: ``k_max = 15``),
+* a wall-clock time limit is reached.
+
+Multi-pattern rules grow the e-graph double-exponentially (paper Section 4),
+so they are only applied for the first ``k_multi`` iterations; afterwards only
+single-pattern rules run.
+
+Cycle filtering (paper Section 5.2) plugs in as a :class:`~repro.egraph.cycles.CycleFilter`
+strategy: a per-iteration setup hook, a per-match ``allows`` check, and a
+post-processing hook.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.egraph.cycles import CycleFilter, EfficientCycleFilter, FilterList, NoCycleFilter, VanillaCycleFilter
+from repro.egraph.egraph import EGraph
+from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
+from repro.egraph.rewrite import Rewrite
+
+__all__ = ["StopReason", "IterationReport", "RunnerReport", "RunnerLimits", "Runner", "make_cycle_filter"]
+
+
+class StopReason(enum.Enum):
+    """Why the exploration phase terminated."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class IterationReport:
+    """Statistics for one exploration iteration."""
+
+    index: int
+    n_matches: int = 0
+    n_applied: int = 0
+    n_skipped_cycle: int = 0
+    n_cycles_resolved: int = 0
+    n_enodes: int = 0
+    n_eclasses: int = 0
+    seconds: float = 0.0
+    applied_multi: bool = False
+    n_rules_banned: int = 0
+
+
+@dataclass
+class RunnerReport:
+    """Aggregate exploration report."""
+
+    stop_reason: StopReason
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_seconds: float = 0.0
+    n_enodes: int = 0
+    n_eclasses: int = 0
+    n_filtered: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "stop_reason": self.stop_reason.value,
+            "iterations": self.num_iterations,
+            "seconds": round(self.total_seconds, 4),
+            "enodes": self.n_enodes,
+            "eclasses": self.n_eclasses,
+            "filtered_nodes": self.n_filtered,
+        }
+
+
+@dataclass
+class RunnerLimits:
+    """Exploration limits (paper Section 6.1 defaults)."""
+
+    node_limit: int = 50_000
+    iter_limit: int = 15
+    time_limit: float = 3600.0
+    k_multi: int = 1
+    #: Safety valve on the Cartesian product size per multi-pattern rule per
+    #: iteration; ``None`` reproduces the paper exactly (no cap).
+    max_multi_combinations: Optional[int] = None
+    #: Rule scheduling: "simple" applies every rule every iteration (the
+    #: paper's behaviour); "backoff" temporarily bans single-pattern rules
+    #: whose match count explodes, like egg's default BackoffScheduler.
+    scheduler: str = "simple"
+    #: Backoff scheduler: per-rule match budget per iteration before banning.
+    match_limit: int = 1_000
+    #: Backoff scheduler: base ban length in iterations (doubles per offence).
+    ban_length: int = 5
+
+
+def make_cycle_filter(kind: str) -> CycleFilter:
+    """Factory for the cycle-filtering strategies: ``"none"``, ``"vanilla"``, ``"efficient"``."""
+    kind = kind.lower()
+    if kind == "none":
+        return NoCycleFilter()
+    if kind == "vanilla":
+        return VanillaCycleFilter()
+    if kind == "efficient":
+        return EfficientCycleFilter()
+    raise ValueError(f"unknown cycle filter {kind!r}; expected 'none', 'vanilla', or 'efficient'")
+
+
+class Runner:
+    """Equality-saturation exploration driver.
+
+    Parameters
+    ----------
+    egraph:
+        The e-graph to grow (already seeded with the input term).
+    rewrites:
+        Single-pattern rewrite rules.
+    multi_rewrites:
+        Multi-pattern rewrite rules (paper Algorithm 1); applied only for the
+        first ``limits.k_multi`` iterations.
+    limits:
+        Node / iteration / time limits.
+    cycle_filter:
+        Cycle-filtering strategy; default is no filtering.
+    """
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rewrites: Sequence[Rewrite] = (),
+        multi_rewrites: Sequence[MultiPatternRewrite] = (),
+        limits: Optional[RunnerLimits] = None,
+        cycle_filter: Optional[CycleFilter] = None,
+    ) -> None:
+        self.egraph = egraph
+        self.rewrites = list(rewrites)
+        self.multi_rewrites = list(multi_rewrites)
+        self.limits = limits if limits is not None else RunnerLimits()
+        if self.limits.scheduler not in ("simple", "backoff"):
+            raise ValueError(f"unknown scheduler {self.limits.scheduler!r}; expected 'simple' or 'backoff'")
+        self.cycle_filter = cycle_filter if cycle_filter is not None else NoCycleFilter()
+        self._multi_searcher = MultiPatternSearcher(self.multi_rewrites) if self.multi_rewrites else None
+        # Backoff scheduler state, per single-pattern rule.
+        self._banned_until: Dict[int, int] = {}
+        self._times_banned: Dict[int, int] = {}
+
+    @property
+    def filter_list(self) -> FilterList:
+        return self.cycle_filter.filter_list
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunnerReport:
+        """Run the exploration loop until saturation or a limit is hit."""
+        start = time.perf_counter()
+        reports: List[IterationReport] = []
+        stop = StopReason.ITERATION_LIMIT
+
+        for iteration in range(self.limits.iter_limit):
+            elapsed = time.perf_counter() - start
+            if elapsed > self.limits.time_limit:
+                stop = StopReason.TIME_LIMIT
+                break
+            if self.egraph.num_enodes > self.limits.node_limit:
+                stop = StopReason.NODE_LIMIT
+                break
+
+            report = self._run_iteration(iteration)
+            reports.append(report)
+
+            if report.n_applied == 0 and report.n_rules_banned == 0:
+                stop = StopReason.SATURATED
+                break
+            if self.egraph.num_enodes > self.limits.node_limit:
+                stop = StopReason.NODE_LIMIT
+                break
+            if time.perf_counter() - start > self.limits.time_limit:
+                stop = StopReason.TIME_LIMIT
+                break
+        else:
+            stop = StopReason.ITERATION_LIMIT
+
+        total = time.perf_counter() - start
+        return RunnerReport(
+            stop_reason=stop,
+            iterations=reports,
+            total_seconds=total,
+            n_enodes=self.egraph.num_enodes,
+            n_eclasses=self.egraph.num_eclasses,
+            n_filtered=len(self.filter_list),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _run_iteration(self, iteration: int) -> IterationReport:
+        t0 = time.perf_counter()
+        report = IterationReport(index=iteration)
+        unions_before = self.egraph.num_unions
+        enodes_before = self.egraph.num_enodes
+
+        self.cycle_filter.begin_iteration(self.egraph)
+
+        # --- multi-pattern rules (first k_multi iterations only) -------- #
+        # They run before the single-pattern rules so that, when the node
+        # limit truncates an iteration, the k_multi budget of multi-pattern
+        # applications has already been spent on the still-compact e-graph.
+        if self._multi_searcher is not None and iteration < self.limits.k_multi:
+            report.applied_multi = True
+            rule_matches = self._multi_searcher.search(
+                self.egraph, self.limits.max_multi_combinations
+            )
+            for rule, combos in rule_matches:
+                report.n_matches += len(combos)
+                needed_vars = set()
+                for target in rule.targets:
+                    needed_vars.update(target.variables())
+                for combo in combos:
+                    leaves = [combo.subst[v] for v in needed_vars if v in combo.subst]
+                    if not self.cycle_filter.allows(self.egraph, list(combo.eclasses), leaves):
+                        report.n_skipped_cycle += 1
+                        continue
+                    rule.apply_match(self.egraph, combo)
+                    report.n_applied += 1
+                    if self.egraph.num_enodes > self.limits.node_limit:
+                        break
+                if self.egraph.num_enodes > self.limits.node_limit:
+                    break
+
+        # --- single-pattern rules -------------------------------------- #
+        if self.egraph.num_enodes <= self.limits.node_limit:
+            for rule_index, rewrite in enumerate(self.rewrites):
+                if self.limits.scheduler == "backoff":
+                    if self._banned_until.get(rule_index, -1) > iteration:
+                        report.n_rules_banned += 1
+                        continue
+                matches = rewrite.search(self.egraph)
+                report.n_matches += len(matches)
+                if self.limits.scheduler == "backoff":
+                    times = self._times_banned.get(rule_index, 0)
+                    threshold = self.limits.match_limit * (2 ** times)
+                    if len(matches) > threshold:
+                        self._banned_until[rule_index] = iteration + self.limits.ban_length * (2 ** times)
+                        self._times_banned[rule_index] = times + 1
+                        report.n_rules_banned += 1
+                        continue
+                for match in matches:
+                    leaves = [match.subst[v] for v in rewrite.rhs.variables()]
+                    if not self.cycle_filter.allows(self.egraph, [match.eclass], leaves):
+                        report.n_skipped_cycle += 1
+                        continue
+                    rewrite.apply_match(self.egraph, match)
+                    report.n_applied += 1
+                    if self.egraph.num_enodes > self.limits.node_limit:
+                        break
+                if self.egraph.num_enodes > self.limits.node_limit:
+                    break
+
+        self.egraph.rebuild()
+        report.n_cycles_resolved = self.cycle_filter.end_iteration(self.egraph)
+        self.egraph.rebuild()
+
+        # Saturation detection: nothing applied, or nothing actually changed.
+        # A banned rule might still have work to do, so an iteration with bans
+        # does not count as saturated.
+        if (
+            self.egraph.num_unions == unions_before
+            and self.egraph.num_enodes == enodes_before
+            and report.n_rules_banned == 0
+        ):
+            report.n_applied = 0
+
+        report.n_enodes = self.egraph.num_enodes
+        report.n_eclasses = self.egraph.num_eclasses
+        report.seconds = time.perf_counter() - t0
+        return report

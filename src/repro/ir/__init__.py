@@ -1,0 +1,24 @@
+"""Tensor computation graph IR.
+
+The representation follows the paper's Table 2: a graph is a single-rooted
+DAG whose nodes are operators; operator parameters (strides, axes, padding
+and activation modes) are integer- or string-typed nodes, and ``input`` /
+``weight`` leaves carry a ``name@shape`` identifier string.
+"""
+
+from repro.ir.graph import GraphBuilder, Node, TensorGraph
+from repro.ir.ops import Activation, OpKind, Padding
+from repro.ir.tensor import DataKind, ShapeError, TensorData, TensorShape
+
+__all__ = [
+    "GraphBuilder",
+    "Node",
+    "TensorGraph",
+    "OpKind",
+    "Activation",
+    "Padding",
+    "DataKind",
+    "TensorData",
+    "TensorShape",
+    "ShapeError",
+]

@@ -1,0 +1,131 @@
+"""Operator set (paper Table 2) and the parameter encodings shared with TASO.
+
+Activation and padding modes are encoded as integers (Table 2: "padding and
+activation modes (by representing different modes using different integers)").
+Variable-length parameters -- axis permutations, target shapes, tensor
+identifiers -- are strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+__all__ = ["OpKind", "Activation", "Padding", "op_symbol", "symbol_to_op", "CONCAT_MAX_INPUTS"]
+
+#: ``concat`` needs a fixed arity per e-graph symbol (Table 2 note d); we
+#: generate ``concat2`` .. ``concat{CONCAT_MAX_INPUTS}``.
+CONCAT_MAX_INPUTS = 8
+
+
+class Activation(enum.IntEnum):
+    """Fused activation modes (TASO encoding)."""
+
+    NONE = 0
+    RELU = 1
+    SIGMOID = 2
+    TANH = 3
+
+
+class Padding(enum.IntEnum):
+    """Convolution / pooling padding modes (TASO encoding)."""
+
+    SAME = 0
+    VALID = 1
+
+
+class OpKind(enum.Enum):
+    """Every operator of the paper's Table 2, plus literal parameter nodes."""
+
+    # Literal parameter nodes (integer type N and string type S in Table 2).
+    NUM = "num"
+    STR = "str"
+
+    # Tensor identifiers.
+    INPUT = "input"
+    WEIGHT = "weight"
+
+    # Tensor operators.
+    EWADD = "ewadd"
+    EWMUL = "ewmul"
+    MATMUL = "matmul"
+    CONV = "conv"
+    RELU = "relu"
+    TANH = "tanh"
+    SIGMOID = "sigmoid"
+    POOLMAX = "poolmax"
+    POOLAVG = "poolavg"
+    TRANSPOSE = "transpose"
+    ENLARGE = "enlarge"
+    CONCAT = "concat"
+    SPLIT = "split"
+    SPLIT0 = "split0"
+    SPLIT1 = "split1"
+    MERGE = "merge"
+    RESHAPE = "reshape"
+    NOOP = "noop"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_literal(self) -> bool:
+        return self in (OpKind.NUM, OpKind.STR)
+
+    @property
+    def is_identifier(self) -> bool:
+        return self in (OpKind.INPUT, OpKind.WEIGHT)
+
+    @property
+    def is_activation(self) -> bool:
+        return self in (OpKind.RELU, OpKind.TANH, OpKind.SIGMOID)
+
+    @property
+    def is_compute(self) -> bool:
+        """Operators that correspond to actual kernels (carry a runtime cost)."""
+        return not (self.is_literal or self.is_identifier or self == OpKind.NOOP)
+
+
+def op_symbol(op: "OpKind", num_inputs: Optional[int] = None, value: object = None) -> str:
+    """E-graph operator symbol for an IR node.
+
+    * literal nodes use their value as the symbol (``"1"``, ``"0 2 1 3"``),
+    * ``concat`` is specialised by tensor arity (``concat2``, ``concat3``, ...),
+    * every other operator uses its lowercase name.
+    """
+    if op == OpKind.NUM:
+        return str(int(value))
+    if op == OpKind.STR:
+        return str(value)
+    if op == OpKind.CONCAT:
+        if num_inputs is None:
+            raise ValueError("concat needs num_inputs to determine its e-graph symbol")
+        n_tensors = num_inputs - 1  # first input is the axis
+        if not 2 <= n_tensors <= CONCAT_MAX_INPUTS:
+            raise ValueError(f"concat of {n_tensors} tensors unsupported (max {CONCAT_MAX_INPUTS})")
+        return f"concat{n_tensors}"
+    return op.value
+
+
+_SYMBOL_TABLE: Dict[str, OpKind] = {
+    op.value: op
+    for op in OpKind
+    if op not in (OpKind.NUM, OpKind.STR, OpKind.CONCAT)
+}
+for _n in range(2, CONCAT_MAX_INPUTS + 1):
+    _SYMBOL_TABLE[f"concat{_n}"] = OpKind.CONCAT
+
+
+def symbol_to_op(symbol: str) -> Tuple[OpKind, object]:
+    """Inverse of :func:`op_symbol`: map an e-graph symbol to ``(OpKind, literal value)``.
+
+    Unknown symbols are classified as literals: integers become ``NUM`` nodes,
+    everything else becomes a ``STR`` node.
+    """
+    op = _SYMBOL_TABLE.get(symbol)
+    if op is not None:
+        return op, None
+    try:
+        return OpKind.NUM, int(symbol)
+    except ValueError:
+        return OpKind.STR, symbol

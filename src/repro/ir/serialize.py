@@ -1,0 +1,102 @@
+"""Serialization of tensor graphs.
+
+Two formats:
+
+* **S-expression text** -- the same single-rooted term representation the
+  e-graph uses; compact and human-readable.
+* **JSON** -- a node-list format that preserves node ids, outputs, and
+  graph name; convenient for storing optimized graphs produced by the
+  benchmark harness or for interchange with external tools.
+
+Both round-trip through shape inference, so a deserialized graph is always
+re-validated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.egraph.language import RecExpr
+from repro.ir.convert import graph_to_recexpr, recexpr_to_graph
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.ops import OpKind
+
+__all__ = [
+    "graph_to_sexpr_text",
+    "graph_from_sexpr_text",
+    "graph_to_json",
+    "graph_from_json",
+    "save_graph",
+    "load_graph",
+]
+
+
+def graph_to_sexpr_text(graph: TensorGraph) -> str:
+    """Serialise ``graph`` as a single-rooted S-expression string."""
+    expr, _ = graph_to_recexpr(graph)
+    return str(expr)
+
+
+def graph_from_sexpr_text(text: str, name: str = "graph") -> TensorGraph:
+    """Parse a graph back from its S-expression text."""
+    return recexpr_to_graph(RecExpr.parse(text), name=name)
+
+
+def graph_to_json(graph: TensorGraph) -> str:
+    """Serialise ``graph`` as a JSON document (node list + outputs + name)."""
+    nodes = []
+    for node in graph.nodes:
+        entry: Dict[str, object] = {"op": node.op.value, "inputs": list(node.inputs)}
+        if node.value is not None:
+            entry["value"] = node.value
+        nodes.append(entry)
+    return json.dumps({"name": graph.name, "nodes": nodes, "outputs": list(graph.outputs)}, indent=2)
+
+
+def graph_from_json(text: str) -> TensorGraph:
+    """Rebuild a graph from :func:`graph_to_json` output (re-running shape inference)."""
+    doc = json.loads(text)
+    builder = GraphBuilder(doc.get("name", "graph"))
+    id_map: Dict[int, int] = {}
+    for index, entry in enumerate(doc["nodes"]):
+        op = OpKind(entry["op"])
+        inputs = [id_map[i] for i in entry["inputs"]]
+        value = entry.get("value")
+        if op == OpKind.NUM:
+            new_id = builder.num(int(value))
+        elif op == OpKind.STR:
+            new_id = builder.string(str(value))
+        else:
+            from repro.ir.ops import op_symbol
+
+            symbol = op_symbol(op, num_inputs=len(inputs), value=value)
+            new_id = builder.add_symbol(symbol, inputs)
+        id_map[index] = new_id
+    outputs = [id_map[o] for o in doc["outputs"]]
+    return builder.finish(outputs=outputs)
+
+
+def save_graph(graph: TensorGraph, path: str, fmt: Optional[str] = None) -> None:
+    """Write a graph to ``path``; format inferred from the extension (.json or .sexpr)."""
+    fmt = fmt or ("json" if path.endswith(".json") else "sexpr")
+    if fmt == "json":
+        text = graph_to_json(graph)
+    elif fmt == "sexpr":
+        text = graph_to_sexpr_text(graph)
+    else:
+        raise ValueError(f"unknown graph format {fmt!r}")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+
+
+def load_graph(path: str, fmt: Optional[str] = None, name: Optional[str] = None) -> TensorGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    fmt = fmt or ("json" if path.endswith(".json") else "sexpr")
+    with open(path) as handle:
+        text = handle.read()
+    if fmt == "json":
+        return graph_from_json(text)
+    if fmt == "sexpr":
+        return graph_from_sexpr_text(text, name=name or "graph")
+    raise ValueError(f"unknown graph format {fmt!r}")

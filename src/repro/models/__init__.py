@@ -1,0 +1,15 @@
+"""Benchmark model graphs.
+
+Programmatic constructors for the inference graphs the paper evaluates on
+(Section 6.1): NasRNN, BERT, ResNeXt-50, NasNet-A, SqueezeNet, VGG-19 and
+Inception-v3, plus ResNet-50 (which the paper also tried and found no speedup
+for on a T4).  The constructors follow each architecture's block structure --
+the parts the rewrite rules act on (parallel matmuls/convolutions sharing an
+input, concat/split plumbing, activation placement) -- with a ``scale`` knob
+("tiny" / "small" / "full") that controls depth and width so the pure-Python
+reproduction stays tractable.
+"""
+
+from repro.models.registry import MODEL_NAMES, build_model, model_registry
+
+__all__ = ["build_model", "model_registry", "MODEL_NAMES"]

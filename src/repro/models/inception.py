@@ -1,0 +1,75 @@
+"""Inception-v3 (Szegedy et al., 2016): inception modules with parallel branches.
+
+Every inception module applies several convolution branches to the *same*
+input (1x1, 1x1->3x3, 1x1->5x5 (factorised to two 3x3), pool->1x1) and
+concatenates them.  The parallel 1x1 convolutions sharing the module input are
+the textbook Figure-9 merge opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.ops import Activation, Padding
+
+__all__ = ["build_inception"]
+
+_PRESETS: Dict[str, Dict[str, int]] = {
+    "tiny": {"image": 16, "channels": 8, "modules": 1},
+    "small": {"image": 28, "channels": 16, "modules": 2},
+    "full": {"image": 56, "channels": 32, "modules": 4},
+}
+
+
+def _conv_bn_relu(b: GraphBuilder, x: int, name: str, in_c: int, out_c: int, k: int, stride: int = 1) -> int:
+    w = b.weight(name, (out_c, in_c, k, k))
+    return b.conv(x, w, stride=(stride, stride), padding=Padding.SAME, activation=Activation.RELU)
+
+
+def _inception_module(b: GraphBuilder, x: int, name: str, in_c: int, width: int) -> int:
+    """One inception-A style module with four branches concatenated on channels."""
+    # Branch 1: 1x1.
+    b1 = _conv_bn_relu(b, x, f"{name}_b1_1x1", in_c, width, 1)
+    # Branch 2: 1x1 -> 3x3.
+    b2 = _conv_bn_relu(b, x, f"{name}_b2_1x1", in_c, width, 1)
+    b2 = _conv_bn_relu(b, b2, f"{name}_b2_3x3", width, width, 3)
+    # Branch 3: 1x1 -> 3x3 -> 3x3 (factorised 5x5).
+    b3 = _conv_bn_relu(b, x, f"{name}_b3_1x1", in_c, width, 1)
+    b3 = _conv_bn_relu(b, b3, f"{name}_b3_3x3a", width, width, 3)
+    b3 = _conv_bn_relu(b, b3, f"{name}_b3_3x3b", width, width, 3)
+    # Branch 4: avg pool -> 1x1.
+    b4 = b.poolavg(x, (3, 3), (1, 1), Padding.SAME)
+    b4 = _conv_bn_relu(b, b4, f"{name}_b4_1x1", in_c, width, 1)
+
+    return b.concat(1, b1, b2, b3, b4)
+
+
+def build_inception(scale: str = "small", **overrides) -> TensorGraph:
+    """Build an Inception-v3-style inference graph.
+
+    Overrides: ``image``, ``channels``, ``modules``.
+    """
+    params = dict(_PRESETS[scale])
+    params.update(overrides)
+    image, channels, modules = params["image"], params["channels"], params["modules"]
+
+    b = GraphBuilder(f"inception-{scale}")
+    x = b.input("image", (1, 3, image, image))
+    x = _conv_bn_relu(b, x, "stem_conv", 3, channels, 3, stride=2)
+    x = b.poolmax(x, (3, 3), (2, 2), Padding.SAME)
+
+    in_c = channels
+    width = channels
+    for m in range(modules):
+        x = _inception_module(b, x, f"mixed{m}", in_c, width)
+        in_c = 4 * width
+
+    final_hw = b.data(x).shape[2]
+    x = b.poolavg(x, (final_hw, final_hw), (final_hw, final_hw), Padding.VALID)
+    # Classifier matmul over flattened features.
+    feat = b.data(x).shape[1]
+    x = b.reshape(x, (1, feat))
+    w_cls = b.weight("classifier", (feat, max(feat // 2, 8)))
+    x = b.matmul(x, w_cls)
+    return b.finish(outputs=[x])

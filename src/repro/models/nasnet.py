@@ -1,0 +1,89 @@
+"""NasNet-A (Zoph et al., 2018): architecture-search cells.
+
+A (simplified) normal cell combines five pairwise blocks; each block adds the
+results of two branches chosen among separable convolutions (depthwise +
+pointwise), pooling, and identity, all reading from the two cell inputs.  The
+pairs of convolution chains feeding an addition are the Figure-10 structure
+("two convs into two convs into an add" collapse to two convolutions over
+concatenated weights), and the parallel separable convolutions over the same
+input feed the Figure-9 merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.ops import Activation, Padding
+
+__all__ = ["build_nasnet"]
+
+_PRESETS: Dict[str, Dict[str, int]] = {
+    "tiny": {"image": 14, "channels": 8, "cells": 1, "blocks": 2},
+    "small": {"image": 14, "channels": 16, "cells": 2, "blocks": 3},
+    "full": {"image": 28, "channels": 32, "cells": 4, "blocks": 5},
+}
+
+
+def _separable(b: GraphBuilder, x: int, name: str, channels: int, k: int) -> int:
+    """Separable convolution: depthwise (grouped, one group per channel) then pointwise 1x1."""
+    w_dw = b.weight(f"{name}_dw", (channels, 1, k, k))
+    dw = b.conv(x, w_dw, stride=(1, 1), padding=Padding.SAME, activation=Activation.NONE)
+    w_pw = b.weight(f"{name}_pw", (channels, channels, 1, 1))
+    return b.conv(dw, w_pw, stride=(1, 1), padding=Padding.SAME, activation=Activation.NONE)
+
+
+def _plain_conv(b: GraphBuilder, x: int, name: str, channels: int, k: int) -> int:
+    w = b.weight(name, (channels, channels, k, k))
+    return b.conv(x, w, stride=(1, 1), padding=Padding.SAME, activation=Activation.NONE)
+
+
+def _normal_cell(b: GraphBuilder, prev: int, cur: int, name: str, channels: int, blocks: int) -> int:
+    """A NasNet-A normal cell with ``blocks`` pairwise-combined branches."""
+    outputs = []
+    for blk in range(blocks):
+        left_src = cur if blk % 2 == 0 else prev
+        right_src = prev if blk % 3 == 0 else cur
+        if blk % 3 == 0:
+            # Two stacked plain convolutions on each side feeding an add: the
+            # Figure-10 pattern.
+            left = _plain_conv(b, _plain_conv(b, left_src, f"{name}_b{blk}_l1", channels, 3),
+                               f"{name}_b{blk}_l2", channels, 1)
+            right = _plain_conv(b, _plain_conv(b, right_src, f"{name}_b{blk}_r1", channels, 3),
+                                f"{name}_b{blk}_r2", channels, 1)
+        elif blk % 3 == 1:
+            left = _separable(b, left_src, f"{name}_b{blk}_sep3", channels, 3)
+            right = b.poolavg(right_src, (3, 3), (1, 1), Padding.SAME)
+        else:
+            left = _separable(b, left_src, f"{name}_b{blk}_sep5", channels, 5)
+            right = b.poolmax(right_src, (3, 3), (1, 1), Padding.SAME)
+        outputs.append(b.relu(b.ewadd(left, right)))
+
+    cell_out = outputs[0]
+    for other in outputs[1:]:
+        cell_out = b.ewadd(cell_out, other)
+    return cell_out
+
+
+def build_nasnet(scale: str = "small", **overrides) -> TensorGraph:
+    """Build a NasNet-A-style inference graph.
+
+    Overrides: ``image``, ``channels``, ``cells``, ``blocks``.
+    """
+    params = dict(_PRESETS[scale])
+    params.update(overrides)
+    image, channels, cells, blocks = params["image"], params["channels"], params["cells"], params["blocks"]
+
+    b = GraphBuilder(f"nasnet-{scale}")
+    x = b.input("image", (1, 3, image, image))
+    w_stem = b.weight("stem", (channels, 3, 3, 3))
+    x = b.conv(x, w_stem, stride=(1, 1), padding=Padding.SAME, activation=Activation.RELU)
+
+    prev, cur = x, x
+    for c in range(cells):
+        nxt = _normal_cell(b, prev, cur, f"cell{c}", channels, blocks)
+        prev, cur = cur, nxt
+
+    final_hw = b.data(cur).shape[2]
+    out = b.poolavg(cur, (final_hw, final_hw), (final_hw, final_hw), Padding.VALID)
+    return b.finish(outputs=[out])

@@ -1,0 +1,79 @@
+"""Model registry: name -> graph constructor."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.graph import TensorGraph
+
+__all__ = ["MODEL_NAMES", "build_model", "model_registry"]
+
+#: Scales supported by every constructor.
+SCALES = ("tiny", "small", "full")
+
+
+def model_registry() -> Dict[str, Callable[..., TensorGraph]]:
+    """Map model names to their constructors (imported lazily)."""
+    from repro.models.bert import build_bert
+    from repro.models.inception import build_inception
+    from repro.models.nasnet import build_nasnet
+    from repro.models.nasrnn import build_nasrnn
+    from repro.models.resnet import build_resnet
+    from repro.models.resnext import build_resnext
+    from repro.models.squeezenet import build_squeezenet
+    from repro.models.vgg import build_vgg
+
+    return {
+        "nasrnn": build_nasrnn,
+        "bert": build_bert,
+        "resnext": build_resnext,
+        "nasnet": build_nasnet,
+        "squeezenet": build_squeezenet,
+        "vgg": build_vgg,
+        "inception": build_inception,
+        "resnet": build_resnet,
+    }
+
+
+MODEL_NAMES: List[str] = [
+    "nasrnn",
+    "bert",
+    "resnext",
+    "nasnet",
+    "squeezenet",
+    "vgg",
+    "inception",
+    "resnet",
+]
+
+
+def build_model(name: str, scale: str = "small", **kwargs) -> TensorGraph:
+    """Build a benchmark model graph by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`MODEL_NAMES` (case-insensitive).
+    scale:
+        ``"tiny"`` (unit tests), ``"small"`` (benchmark default), or
+        ``"full"`` (closest to the published architecture's block counts that
+        remains tractable in pure Python).
+    kwargs:
+        Constructor-specific overrides (e.g. ``hidden=128``).
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {
+        "nasneta": "nasnet",
+        "resnext50": "resnext",
+        "resnet50": "resnet",
+        "vgg19": "vgg",
+        "inceptionv3": "inception",
+        "squeeze": "squeezenet",
+    }
+    key = aliases.get(key, key)
+    registry = model_registry()
+    if key not in registry:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(registry)}")
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return registry[key](scale=scale, **kwargs)

@@ -1,0 +1,67 @@
+"""ResNet-50 (He et al., 2016): residual bottleneck blocks.
+
+The paper experimented with ResNet-50 as well but found that TASO's rewrite
+rules give no speedup on a T4; the model is included so that result (both
+optimizers returning the original cost, or very close to it) can be
+reproduced and used as a negative control in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.ops import Activation, Padding
+
+__all__ = ["build_resnet"]
+
+_PRESETS: Dict[str, Dict[str, object]] = {
+    "tiny": {"image": 16, "stem_channels": 8, "stage_blocks": (1,)},
+    "small": {"image": 28, "stem_channels": 16, "stage_blocks": (2, 2)},
+    "full": {"image": 56, "stem_channels": 32, "stage_blocks": (3, 4, 6, 3)},
+}
+
+
+def _bottleneck(b: GraphBuilder, x: int, name: str, in_c: int, mid_c: int, out_c: int, stride: int) -> int:
+    w1 = b.weight(f"{name}_1x1a", (mid_c, in_c, 1, 1))
+    y = b.conv(x, w1, stride=(1, 1), padding=Padding.SAME, activation=Activation.RELU)
+    w2 = b.weight(f"{name}_3x3", (mid_c, mid_c, 3, 3))
+    y = b.conv(y, w2, stride=(stride, stride), padding=Padding.SAME, activation=Activation.RELU)
+    w3 = b.weight(f"{name}_1x1b", (out_c, mid_c, 1, 1))
+    y = b.conv(y, w3, stride=(1, 1), padding=Padding.SAME, activation=Activation.NONE)
+    if stride != 1 or in_c != out_c:
+        w_proj = b.weight(f"{name}_proj", (out_c, in_c, 1, 1))
+        shortcut = b.conv(x, w_proj, stride=(stride, stride), padding=Padding.SAME, activation=Activation.NONE)
+    else:
+        shortcut = x
+    return b.relu(b.ewadd(y, shortcut))
+
+
+def build_resnet(scale: str = "small", **overrides) -> TensorGraph:
+    """Build a ResNet-style inference graph.
+
+    Overrides: ``image``, ``stem_channels``, ``stage_blocks``.
+    """
+    params = dict(_PRESETS[scale])
+    params.update(overrides)
+    image = int(params["image"])
+    stem = int(params["stem_channels"])
+    stage_blocks = tuple(params["stage_blocks"])
+
+    b = GraphBuilder(f"resnet-{scale}")
+    x = b.input("image", (1, 3, image, image))
+    w_stem = b.weight("stem", (stem, 3, 3, 3))
+    x = b.conv(x, w_stem, stride=(1, 1), padding=Padding.SAME, activation=Activation.RELU)
+    x = b.poolmax(x, (2, 2), (2, 2), Padding.VALID)
+
+    channels = stem
+    for stage, blocks in enumerate(stage_blocks):
+        out_c = stem * (2 ** (stage + 1))
+        mid_c = max(out_c // 4, 4)
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck(b, x, f"s{stage}b{block}", channels, mid_c, out_c, stride)
+            channels = out_c
+
+    x = b.poolavg(x, (2, 2), (2, 2), Padding.VALID)
+    return b.finish(outputs=[x])

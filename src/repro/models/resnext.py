@@ -1,0 +1,94 @@
+"""ResNeXt-50 (Xie et al., 2017): residual bottleneck blocks with grouped convolutions.
+
+Each block reduces channels with a 1x1 convolution, applies a grouped 3x3
+convolution (cardinality groups), expands back with another 1x1 convolution,
+and adds the identity shortcut.  The 1x1 convolutions of sibling blocks and
+the projection shortcuts provide shared-input convolution merge opportunities
+(Figure 9), which is where the paper's 8.8% speedup comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.ops import Activation, Padding
+
+__all__ = ["build_resnext"]
+
+_PRESETS: Dict[str, Dict[str, object]] = {
+    "tiny": {"image": 16, "stem_channels": 8, "stage_blocks": (1,), "cardinality": 4},
+    "small": {"image": 28, "stem_channels": 16, "stage_blocks": (2, 2), "cardinality": 8},
+    "full": {"image": 56, "stem_channels": 32, "stage_blocks": (3, 4, 3), "cardinality": 32},
+}
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: int,
+    name: str,
+    in_channels: int,
+    bottleneck_channels: int,
+    out_channels: int,
+    cardinality: int,
+    stride: int,
+) -> int:
+    """A ResNeXt bottleneck: 1x1 reduce -> grouped 3x3 -> 1x1 expand + shortcut."""
+    w_reduce = b.weight(f"{name}_reduce", (bottleneck_channels, in_channels, 1, 1))
+    reduced = b.conv(x, w_reduce, stride=(1, 1), padding=Padding.SAME, activation=Activation.RELU)
+
+    group_width = bottleneck_channels // cardinality
+    w_group = b.weight(f"{name}_group", (bottleneck_channels, group_width, 3, 3))
+    grouped = b.conv(
+        reduced, w_group, stride=(stride, stride), padding=Padding.SAME, activation=Activation.RELU
+    )
+
+    w_expand = b.weight(f"{name}_expand", (out_channels, bottleneck_channels, 1, 1))
+    expanded = b.conv(grouped, w_expand, stride=(1, 1), padding=Padding.SAME, activation=Activation.NONE)
+
+    if stride != 1 or in_channels != out_channels:
+        w_proj = b.weight(f"{name}_proj", (out_channels, in_channels, 1, 1))
+        shortcut = b.conv(x, w_proj, stride=(stride, stride), padding=Padding.SAME, activation=Activation.NONE)
+    else:
+        shortcut = x
+    return b.relu(b.ewadd(expanded, shortcut))
+
+
+def build_resnext(scale: str = "small", **overrides) -> TensorGraph:
+    """Build a ResNeXt-style inference graph.
+
+    Overrides: ``image``, ``stem_channels``, ``stage_blocks``, ``cardinality``.
+    """
+    params = dict(_PRESETS[scale])
+    params.update(overrides)
+    image = int(params["image"])
+    stem_channels = int(params["stem_channels"])
+    stage_blocks = tuple(params["stage_blocks"])
+    cardinality = int(params["cardinality"])
+
+    b = GraphBuilder(f"resnext-{scale}")
+    x = b.input("image", (1, 3, image, image))
+    w_stem = b.weight("stem", (stem_channels, 3, 3, 3))
+    x = b.conv(x, w_stem, stride=(1, 1), padding=Padding.SAME, activation=Activation.RELU)
+    x = b.poolmax(x, (2, 2), (2, 2), Padding.VALID)
+
+    channels = stem_channels
+    for stage, blocks in enumerate(stage_blocks):
+        out_channels = stem_channels * (2 ** (stage + 1))
+        bottleneck = max(out_channels // 2, cardinality)
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck(
+                b,
+                x,
+                name=f"s{stage}b{block}",
+                in_channels=channels,
+                bottleneck_channels=bottleneck,
+                out_channels=out_channels,
+                cardinality=cardinality,
+                stride=stride,
+            )
+            channels = out_channels
+
+    x = b.poolavg(x, (2, 2), (2, 2), Padding.VALID)
+    return b.finish(outputs=[x])

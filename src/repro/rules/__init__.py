@@ -1,0 +1,16 @@
+"""TASO-style rewrite rules for tensor graphs.
+
+The rule library mirrors the structure of the rule set TENSAT inherits from
+TASO (Jia et al., 2019): algebraic identities over element-wise operators and
+matrix multiplication, activation fusion, concat/split inverses, convolution
+linearity, and the *multi-pattern* merge rules of the paper's Figure 2 and
+appendix (merging operators that share an input via concat + split).
+
+Every rule is registered with example operand shapes so the whole library can
+be verified numerically against the numpy backend
+(:mod:`repro.rules.verify`).
+"""
+
+from repro.rules.library import RuleDef, RuleSet, default_ruleset, rule_registry
+
+__all__ = ["RuleDef", "RuleSet", "default_ruleset", "rule_registry"]

@@ -1,0 +1,179 @@
+"""Shape-checking preconditions for rewrite rules.
+
+The paper applies a rewrite at a syntactic match only after *shape checking*
+(Section 4): the target pattern must be well-typed for the tensors the
+variables are bound to.  The helpers below build such conditions from the
+tensor e-class analysis data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import Match
+from repro.egraph.multipattern import MultiMatch
+from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar
+from repro.ir.shapes import infer_symbol
+from repro.ir.tensor import DataKind, ShapeError, TensorData
+
+__all__ = [
+    "pattern_data",
+    "targets_shape_valid",
+    "var_is_int",
+    "var_rank_is",
+    "var_shape_axis_equal",
+    "conv_not_grouped",
+    "all_of",
+]
+
+AnyMatch = Union[Match, MultiMatch]
+Condition = Callable[[EGraph, AnyMatch], bool]
+
+
+def pattern_data(egraph: EGraph, pattern: Pattern, subst: Dict[str, int]) -> TensorData:
+    """Infer the metadata the root of ``pattern`` would have under ``subst``.
+
+    Variables read their metadata from the e-class analysis; operator nodes
+    run shape inference bottom-up.  Raises :class:`ShapeError` when the
+    pattern would be ill-typed.
+    """
+
+    def go(term: PatternTerm) -> TensorData:
+        if isinstance(term, PatternVar):
+            eclass = subst.get(term.name)
+            if eclass is None:
+                raise ShapeError(f"variable ?{term.name} unbound")
+            data = egraph.analysis_data(eclass)
+            if data is None or not data.is_valid:
+                raise ShapeError(f"variable ?{term.name} has no valid analysis data")
+            return data
+        children = [go(c) for c in term.children]
+        return infer_symbol(term.op, children)
+
+    return go(pattern.root)
+
+
+def targets_shape_valid(targets: Sequence[Pattern]) -> Condition:
+    """Condition: every target pattern type-checks under the match's bindings."""
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        for target in targets:
+            try:
+                data = pattern_data(egraph, target, match.subst)
+            except ShapeError:
+                return False
+            if not data.is_valid:
+                return False
+        return True
+
+    return condition
+
+
+def var_is_int(var: str, value: Optional[int] = None) -> Condition:
+    """Condition: ``?var`` is an integer parameter (optionally equal to ``value``)."""
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        eclass = match.subst.get(var)
+        if eclass is None:
+            return False
+        data = egraph.analysis_data(eclass)
+        if data is None or data.kind != DataKind.INT:
+            return False
+        return value is None or int(data.value) == value
+
+    return condition
+
+
+def var_rank_is(var: str, rank: int) -> Condition:
+    """Condition: ``?var`` is a tensor of the given rank."""
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        eclass = match.subst.get(var)
+        if eclass is None:
+            return False
+        data = egraph.analysis_data(eclass)
+        return data is not None and data.kind == DataKind.TENSOR and data.rank == rank
+
+    return condition
+
+
+def var_shape_axis_equal(var_a: str, var_b: str, axis: int) -> Condition:
+    """Condition: two tensor variables agree on the size of ``axis``."""
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        da = egraph.analysis_data(match.subst.get(var_a, -1)) if var_a in match.subst else None
+        db = egraph.analysis_data(match.subst.get(var_b, -1)) if var_b in match.subst else None
+        if da is None or db is None:
+            return False
+        if da.kind != DataKind.TENSOR or db.kind != DataKind.TENSOR:
+            return False
+        if da.rank <= axis or db.rank <= axis:
+            return False
+        return da.shape[axis] == db.shape[axis]
+
+    return condition
+
+
+def conv_not_grouped(input_var: str, weight_var: str) -> Condition:
+    """Condition: the convolution of ``?input_var`` by ``?weight_var`` is ungrouped.
+
+    The concat-based conv merge rewrites are only sound for groups == 1
+    (otherwise concatenating output channels re-partitions the groups).
+    """
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        x = egraph.analysis_data(match.subst.get(input_var, -1)) if input_var in match.subst else None
+        w = egraph.analysis_data(match.subst.get(weight_var, -1)) if weight_var in match.subst else None
+        if x is None or w is None:
+            return False
+        if x.kind != DataKind.TENSOR or w.kind != DataKind.TENSOR:
+            return False
+        if x.rank != 4 or w.rank != 4:
+            return False
+        return x.shape[1] == w.shape[1]
+
+    return condition
+
+
+def enlarge_compatible(small_var: str, large_var: str) -> Condition:
+    """Condition for merging convs with different kernel sizes via ``enlarge``.
+
+    ``?small_var`` can be zero-padded to the spatial size of ``?large_var``
+    and the padded kernel computes the same convolution under SAME padding and
+    stride 1: both kernels must share input channels, the target spatial size
+    must be odd, and the size difference must be even so the original taps
+    stay centered.
+    """
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        small = egraph.analysis_data(match.subst.get(small_var, -1)) if small_var in match.subst else None
+        large = egraph.analysis_data(match.subst.get(large_var, -1)) if large_var in match.subst else None
+        if small is None or large is None:
+            return False
+        if small.kind != DataKind.TENSOR or large.kind != DataKind.TENSOR:
+            return False
+        if small.rank != 4 or large.rank != 4:
+            return False
+        if small.shape[1] != large.shape[1]:
+            return False
+        s_kh, s_kw = small.shape[2], small.shape[3]
+        l_kh, l_kw = large.shape[2], large.shape[3]
+        if (s_kh, s_kw) == (l_kh, l_kw):
+            return False  # same-size kernels are handled by the plain merge rule
+        if s_kh > l_kh or s_kw > l_kw:
+            return False
+        if l_kh % 2 == 0 or l_kw % 2 == 0:
+            return False
+        return (l_kh - s_kh) % 2 == 0 and (l_kw - s_kw) % 2 == 0
+
+    return condition
+
+
+def all_of(*conditions: Condition) -> Condition:
+    """Conjunction of several conditions."""
+
+    def condition(egraph: EGraph, match: AnyMatch) -> bool:
+        return all(c(egraph, match) for c in conditions)
+
+    return condition

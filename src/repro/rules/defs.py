@@ -1,0 +1,36 @@
+"""Rule definition record shared by the single- and multi-pattern rule modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+from repro.egraph.multipattern import MultiPatternRewrite
+from repro.egraph.rewrite import Rewrite
+
+__all__ = ["RuleDef", "ExampleBinding"]
+
+#: How to materialise a pattern variable when verifying a rule numerically:
+#: ``("input" | "weight", shape)`` for tensors or ``("int", value)`` /
+#: ``("str", value)`` for parameters.
+ExampleBinding = Tuple[str, object]
+
+
+@dataclass(frozen=True)
+class RuleDef:
+    """A rewrite rule plus the metadata needed to test and select it."""
+
+    rule: Union[Rewrite, MultiPatternRewrite]
+    tags: Tuple[str, ...] = ()
+    #: Example variable bindings under which both sides of the rule are
+    #: well-typed; used by :mod:`repro.rules.verify` to check soundness
+    #: numerically.
+    example: Dict[str, ExampleBinding] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+    @property
+    def is_multi(self) -> bool:
+        return isinstance(self.rule, MultiPatternRewrite)

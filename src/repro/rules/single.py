@@ -1,0 +1,306 @@
+"""Single-pattern rewrite rules.
+
+Each rule is the equivalence of one output pattern with another (paper
+Section 3.2).  The set below covers the TASO rule categories that the seven
+benchmark models exercise:
+
+* element-wise algebra (commutativity, associativity, distributivity),
+* matrix-multiplication algebra (associativity, linearity, the Figure-11
+  "merge two matmuls feeding an add" pattern),
+* activation fusion into matmul/conv kernels,
+* concat/split inverses,
+* convolution linearity over input and weights, and the Figure-10 two-level
+  convolution merge used by NasNet-A,
+* geometric identities (transpose involution, matmul transposition).
+
+Every rule carries example operand shapes so the entire set is verified
+numerically by ``tests/test_rules_verify.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.egraph.pattern import Pattern
+from repro.egraph.rewrite import Rewrite
+from repro.rules.conditions import all_of, targets_shape_valid, var_rank_is
+from repro.rules.defs import RuleDef
+
+__all__ = ["single_pattern_rules"]
+
+
+def _rule(
+    name: str,
+    lhs: str,
+    rhs: str,
+    example: Dict[str, tuple],
+    tags: tuple = (),
+    extra_condition=None,
+    bidirectional: bool = True,
+) -> List[RuleDef]:
+    """Create one rule (and, by default, its reverse) with a shape-check condition."""
+    defs: List[RuleDef] = []
+    forward_cond = targets_shape_valid([Pattern.parse(rhs)])
+    if extra_condition is not None:
+        forward_cond = all_of(forward_cond, extra_condition)
+    defs.append(
+        RuleDef(Rewrite.parse(name, lhs, rhs, forward_cond), tags=tags, example=example)
+    )
+    if bidirectional:
+        lhs_vars = set(Pattern.parse(lhs).variables())
+        rhs_vars = set(Pattern.parse(rhs).variables())
+        if lhs_vars <= rhs_vars:
+            reverse_cond = targets_shape_valid([Pattern.parse(lhs)])
+            if extra_condition is not None:
+                reverse_cond = all_of(reverse_cond, extra_condition)
+            defs.append(
+                RuleDef(Rewrite.parse(name + "-rev", rhs, lhs, reverse_cond), tags=tags, example=example)
+            )
+    return defs
+
+
+def single_pattern_rules() -> List[RuleDef]:
+    """The full single-pattern rule library."""
+    rules: List[RuleDef] = []
+
+    # ------------------------------------------------------------------ #
+    # Element-wise algebra
+    # ------------------------------------------------------------------ #
+    ew_example = {"x": ("input", (4, 8)), "y": ("input", (4, 8)), "z": ("input", (4, 8))}
+    rules += _rule(
+        "ewadd-comm", "(ewadd ?x ?y)", "(ewadd ?y ?x)", ew_example, tags=("ewise", "enabling"),
+        bidirectional=False,
+    )
+    rules += _rule(
+        "ewadd-assoc", "(ewadd (ewadd ?x ?y) ?z)", "(ewadd ?x (ewadd ?y ?z))",
+        ew_example, tags=("ewise", "enabling"),
+    )
+    rules += _rule(
+        "ewmul-comm", "(ewmul ?x ?y)", "(ewmul ?y ?x)", ew_example, tags=("ewise", "enabling"),
+        bidirectional=False,
+    )
+    rules += _rule(
+        "ewmul-assoc", "(ewmul (ewmul ?x ?y) ?z)", "(ewmul ?x (ewmul ?y ?z))",
+        ew_example, tags=("ewise", "enabling"),
+    )
+    rules += _rule(
+        "ewmul-distribute",
+        "(ewmul (ewadd ?x ?y) ?z)",
+        "(ewadd (ewmul ?x ?z) (ewmul ?y ?z))",
+        ew_example,
+        tags=("ewise",),
+    )
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiplication algebra
+    # ------------------------------------------------------------------ #
+    mm_example = {
+        "a": ("input", (6, 8)),
+        "b": ("weight", (8, 10)),
+        "c": ("weight", (10, 12)),
+    }
+    rules += _rule(
+        "matmul-assoc",
+        "(matmul ?act (matmul 0 ?a ?b) ?c)",
+        "(matmul ?act ?a (matmul 0 ?b ?c))",
+        {**mm_example, "act": ("int", 0)},
+        tags=("matmul",),
+    )
+    linear_example = {
+        "a": ("input", (6, 8)),
+        "b": ("weight", (8, 10)),
+        "c": ("weight", (8, 10)),
+    }
+    rules += _rule(
+        "matmul-linear-rhs",
+        "(ewadd (matmul 0 ?a ?b) (matmul 0 ?a ?c))",
+        "(matmul 0 ?a (ewadd ?b ?c))",
+        linear_example,
+        tags=("matmul",),
+    )
+    linear_lhs_example = {
+        "a": ("input", (6, 8)),
+        "b": ("input", (6, 8)),
+        "c": ("weight", (8, 10)),
+    }
+    rules += _rule(
+        "matmul-linear-lhs",
+        "(ewadd (matmul 0 ?a ?c) (matmul 0 ?b ?c))",
+        "(matmul 0 (ewadd ?a ?b) ?c)",
+        linear_lhs_example,
+        tags=("matmul",),
+    )
+    # Figure 11 (NasRNN): two matmuls of different inputs feeding an add merge
+    # into one matmul over concatenated operands.
+    fig11_example = {
+        "x": ("input", (6, 8)),
+        "y": ("input", (6, 12)),
+        "w1": ("weight", (8, 10)),
+        "w2": ("weight", (12, 10)),
+    }
+    rules += _rule(
+        "matmul-concat-merge-add",
+        "(ewadd (matmul 0 ?x ?w1) (matmul 0 ?y ?w2))",
+        "(matmul 0 (concat2 1 ?x ?y) (concat2 0 ?w1 ?w2))",
+        fig11_example,
+        tags=("matmul", "merge", "fig11"),
+        extra_condition=all_of(var_rank_is("x", 2), var_rank_is("y", 2)),
+    )
+
+    # ------------------------------------------------------------------ #
+    # Activation fusion
+    # ------------------------------------------------------------------ #
+    fuse_mm_example = {"a": ("input", (6, 8)), "b": ("weight", (8, 10))}
+    for act_name, act_code in (("relu", 1), ("sigmoid", 2), ("tanh", 3)):
+        rules += _rule(
+            f"fuse-matmul-{act_name}",
+            f"({act_name} (matmul 0 ?a ?b))",
+            f"(matmul {act_code} ?a ?b)",
+            fuse_mm_example,
+            tags=("fusion", "matmul"),
+        )
+    fuse_conv_example = {
+        "x": ("input", (1, 8, 10, 10)),
+        "w": ("weight", (12, 8, 3, 3)),
+        "sh": ("int", 1),
+        "sw": ("int", 1),
+        "p": ("int", 0),
+    }
+    for act_name, act_code in (("relu", 1), ("sigmoid", 2), ("tanh", 3)):
+        rules += _rule(
+            f"fuse-conv-{act_name}",
+            f"({act_name} (conv ?sh ?sw ?p 0 ?x ?w))",
+            f"(conv ?sh ?sw ?p {act_code} ?x ?w)",
+            fuse_conv_example,
+            tags=("fusion", "conv"),
+        )
+    rules += _rule(
+        "relu-idempotent", "(relu (relu ?x))", "(relu ?x)", {"x": ("input", (4, 8))},
+        tags=("ewise",), bidirectional=False,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Concat / split inverses
+    # ------------------------------------------------------------------ #
+    cs_example = {
+        "x": ("input", (4, 8)),
+        "y": ("input", (4, 6)),
+        "axis": ("int", 1),
+    }
+    rules += _rule(
+        "split0-of-concat",
+        "(split0 (split ?axis (concat2 ?axis ?x ?y)))",
+        "?x",
+        cs_example,
+        tags=("concat",),
+        bidirectional=False,
+    )
+    rules += _rule(
+        "split1-of-concat",
+        "(split1 (split ?axis (concat2 ?axis ?x ?y)))",
+        "?y",
+        cs_example,
+        tags=("concat",),
+        bidirectional=False,
+    )
+    rules += _rule(
+        "concat-of-splits",
+        "(concat2 ?axis (split0 (split ?axis ?x)) (split1 (split ?axis ?x)))",
+        "?x",
+        {"x": ("input", (4, 8)), "axis": ("int", 1)},
+        tags=("concat",),
+        bidirectional=False,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Convolution linearity and the Figure-10 two-level merge
+    # ------------------------------------------------------------------ #
+    conv_lin_example = {
+        "x": ("input", (1, 8, 10, 10)),
+        "y": ("input", (1, 8, 10, 10)),
+        "w": ("weight", (12, 8, 3, 3)),
+        "sh": ("int", 1),
+        "sw": ("int", 1),
+        "p": ("int", 0),
+    }
+    rules += _rule(
+        "conv-linear-input",
+        "(conv ?sh ?sw ?p 0 (ewadd ?x ?y) ?w)",
+        "(ewadd (conv ?sh ?sw ?p 0 ?x ?w) (conv ?sh ?sw ?p 0 ?y ?w))",
+        conv_lin_example,
+        tags=("conv",),
+    )
+    conv_wlin_example = {
+        "x": ("input", (1, 8, 10, 10)),
+        "w1": ("weight", (12, 8, 3, 3)),
+        "w2": ("weight", (12, 8, 3, 3)),
+        "sh": ("int", 1),
+        "sw": ("int", 1),
+        "p": ("int", 0),
+    }
+    rules += _rule(
+        "conv-linear-weight",
+        "(conv ?sh ?sw ?p 0 ?x (ewadd ?w1 ?w2))",
+        "(ewadd (conv ?sh ?sw ?p 0 ?x ?w1) (conv ?sh ?sw ?p 0 ?x ?w2))",
+        conv_wlin_example,
+        tags=("conv",),
+    )
+    # Figure 10 (NasNet-A): two conv->conv chains from the same input feeding an
+    # add collapse into one chain over concatenated weights.
+    fig10_example = {
+        "x": ("input", (1, 8, 10, 10)),
+        "w1": ("weight", (6, 8, 3, 3)),
+        "w3": ("weight", (10, 8, 3, 3)),
+        "w2": ("weight", (12, 6, 3, 3)),
+        "w4": ("weight", (12, 10, 3, 3)),
+        "sh": ("int", 1),
+        "sw": ("int", 1),
+        "p": ("int", 0),
+        "act2": ("int", 0),
+    }
+    rules += _rule(
+        "conv-conv-add-merge",
+        "(ewadd (conv 1 1 ?p 0 (conv ?sh ?sw ?p ?act2 ?x ?w1) ?w2) "
+        "(conv 1 1 ?p 0 (conv ?sh ?sw ?p ?act2 ?x ?w3) ?w4))",
+        "(conv 1 1 ?p 0 (conv ?sh ?sw ?p ?act2 ?x (concat2 0 ?w1 ?w3)) (concat2 1 ?w2 ?w4))",
+        fig10_example,
+        tags=("conv", "merge", "fig10"),
+        extra_condition=all_of(conv_not_grouped_fig10()),
+        bidirectional=False,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Geometric identities
+    # ------------------------------------------------------------------ #
+    rules += _rule(
+        "transpose-involution",
+        '(transpose (transpose ?x "1 0") "1 0")',
+        "?x",
+        {"x": ("input", (4, 8))},
+        tags=("geometry",),
+        bidirectional=False,
+    )
+    rules += _rule(
+        "matmul-transpose",
+        '(transpose (matmul 0 ?a ?b) "1 0")',
+        '(matmul 0 (transpose ?b "1 0") (transpose ?a "1 0"))',
+        {"a": ("input", (6, 8)), "b": ("weight", (8, 10))},
+        tags=("geometry", "matmul"),
+    )
+
+    return rules
+
+
+def conv_not_grouped_fig10():
+    """Condition specialised for the Figure-10 rule: every conv involved is ungrouped."""
+    from repro.rules.conditions import conv_not_grouped
+
+    def condition(egraph, match):
+        # The inner convs consume ?x with ?w1 / ?w3; the outer convs consume the
+        # inner outputs, whose channel counts equal the weights' output channels,
+        # with ?w2 / ?w4.  Checking the inner pair is enough to exclude grouped
+        # convolutions because the outer weights' input-channel counts must then
+        # line up exactly (enforced by the shape check).
+        return conv_not_grouped("x", "w1")(egraph, match) and conv_not_grouped("x", "w3")(egraph, match)
+
+    return condition

@@ -1,0 +1,98 @@
+"""A sampling-based sequential baseline (in the spirit of Fang et al., 2020).
+
+Instead of a cost-ordered queue, the search performs several random walks:
+each step samples one applicable substitution among those that do not degrade
+the cost by more than a relaxation factor, and applies it.  The best graph
+seen over all walks is returned.  The paper cites this family of approaches as
+faster than TASO's backtracking but not better in final graph quality; the
+benchmark suite includes it as a secondary baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.ir.graph import TensorGraph
+from repro.rules.library import RuleSet, default_ruleset
+from repro.search.substitution import apply_to_graph, find_graph_matches
+
+__all__ = ["SamplingResult", "SamplingSearch"]
+
+
+@dataclass
+class SamplingResult:
+    original: TensorGraph
+    optimized: TensorGraph
+    original_cost: float
+    optimized_cost: float
+    total_seconds: float
+    steps_taken: int
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.original_cost / self.optimized_cost - 1.0) * 100.0
+
+
+class SamplingSearch:
+    """Random-walk substitution search."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        rules: Optional[RuleSet] = None,
+        walks: int = 4,
+        steps_per_walk: int = 20,
+        relaxation: float = 1.05,
+        seed: int = 0,
+        time_limit: float = 600.0,
+    ) -> None:
+        self.cost_model = cost_model
+        self.rules = rules if rules is not None else default_ruleset()
+        self.walks = walks
+        self.steps_per_walk = steps_per_walk
+        self.relaxation = relaxation
+        self.seed = seed
+        self.time_limit = time_limit
+
+    def optimize(self, graph: TensorGraph) -> SamplingResult:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        original_cost = self.cost_model.graph_cost(graph)
+        best_graph, best_cost = graph, original_cost
+        steps_taken = 0
+
+        for _ in range(self.walks):
+            current, current_cost = graph, original_cost
+            for _ in range(self.steps_per_walk):
+                if time.perf_counter() - start > self.time_limit:
+                    break
+                candidates: List[Tuple[TensorGraph, float]] = []
+                for rule_def in self.rules.defs:
+                    for match in find_graph_matches(current, rule_def.rule):
+                        child = apply_to_graph(current, rule_def.rule, match)
+                        if child is None:
+                            continue
+                        child_cost = self.cost_model.graph_cost(child)
+                        if child_cost <= self.relaxation * current_cost:
+                            candidates.append((child, child_cost))
+                if not candidates:
+                    break
+                idx = int(rng.integers(len(candidates)))
+                current, current_cost = candidates[idx]
+                steps_taken += 1
+                if current_cost < best_cost - 1e-12:
+                    best_graph, best_cost = current, current_cost
+
+        return SamplingResult(
+            original=graph,
+            optimized=best_graph,
+            original_cost=original_cost,
+            optimized_cost=best_cost,
+            total_seconds=time.perf_counter() - start,
+            steps_taken=steps_taken,
+        )

@@ -1,0 +1,127 @@
+"""S-expression parsing and printing.
+
+TENSAT represents rewrite-rule patterns and serialized tensor graphs as
+S-expressions (see Section 3.2 of the paper).  This module provides a small,
+dependency-free reader/printer shared by the pattern compiler
+(:mod:`repro.egraph.pattern`) and the IR serializer (:mod:`repro.ir.convert`).
+
+An S-expression is represented in Python as either:
+
+* a ``str`` atom (operator name, variable like ``?x``, integer literal, or a
+  quoted string), or
+* a ``list`` whose first element is the operator atom and whose remaining
+  elements are child S-expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+SExpr = Union[str, List["SExpr"]]
+
+__all__ = ["SExpr", "parse", "parse_many", "to_string", "is_variable"]
+
+
+class SExprError(ValueError):
+    """Raised when an S-expression string cannot be parsed."""
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into parenthesis and atom tokens.
+
+    Atoms may be double-quoted to allow embedded whitespace (used for shape
+    strings such as ``"name@1 64 56 56"``).
+    """
+    tokens: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise SExprError(f"unterminated string literal at offset {i}")
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        elif c == ";":
+            # Comment until end of line.
+            while i < n and text[i] != "\n":
+                i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in '();"':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _parse_tokens(tokens: List[str], pos: int) -> tuple:
+    if pos >= len(tokens):
+        raise SExprError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items: List[SExpr] = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _parse_tokens(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise SExprError("missing closing parenthesis")
+        return items, pos + 1
+    if tok == ")":
+        raise SExprError("unexpected ')'")
+    if tok.startswith('"') and tok.endswith('"') and len(tok) >= 2:
+        return tok[1:-1], pos + 1
+    return tok, pos + 1
+
+
+def parse(text: str) -> SExpr:
+    """Parse a single S-expression from ``text``.
+
+    Raises :class:`SExprError` if the input is empty, malformed, or contains
+    trailing tokens.
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise SExprError("empty input")
+    expr, pos = _parse_tokens(tokens, 0)
+    if pos != len(tokens):
+        raise SExprError(f"trailing tokens after expression: {tokens[pos:]}")
+    return expr
+
+
+def parse_many(text: str) -> List[SExpr]:
+    """Parse zero or more whitespace-separated S-expressions."""
+    tokens = tokenize(text)
+    exprs: List[SExpr] = []
+    pos = 0
+    while pos < len(tokens):
+        expr, pos = _parse_tokens(tokens, pos)
+        exprs.append(expr)
+    return exprs
+
+
+def _atom_to_string(atom: str) -> str:
+    if atom == "" or any(ch.isspace() for ch in atom) or any(ch in '()"' for ch in atom):
+        return '"' + atom + '"'
+    return atom
+
+
+def to_string(expr: SExpr) -> str:
+    """Render ``expr`` back into canonical S-expression text."""
+    if isinstance(expr, str):
+        return _atom_to_string(expr)
+    return "(" + " ".join(to_string(e) for e in expr) + ")"
+
+
+def is_variable(atom: SExpr) -> bool:
+    """Return True if ``atom`` is a pattern variable (``?name``)."""
+    return isinstance(atom, str) and atom.startswith("?") and len(atom) > 1

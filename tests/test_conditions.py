@@ -1,0 +1,133 @@
+"""Tests for rewrite-rule preconditions (shape checking)."""
+
+import pytest
+
+from repro.egraph.ematch import Match, search_pattern
+from repro.egraph.pattern import Pattern
+from repro.ir.convert import egraph_from_graph
+from repro.ir.graph import GraphBuilder
+from repro.rules.conditions import (
+    all_of,
+    conv_not_grouped,
+    enlarge_compatible,
+    pattern_data,
+    targets_shape_valid,
+    var_is_int,
+    var_rank_is,
+    var_shape_axis_equal,
+)
+from repro.ir.tensor import ShapeError
+
+
+def matmul_pair_egraph(cols1=32, cols2=48):
+    b = GraphBuilder()
+    x = b.input("x", (8, 64))
+    w1 = b.weight("w1", (64, cols1))
+    w2 = b.weight("w2", (64, cols2))
+    g = b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
+    return egraph_from_graph(g)
+
+
+def match_for(egraph, pattern_text):
+    matches = search_pattern(egraph, Pattern.parse(pattern_text))
+    assert matches, f"expected a match for {pattern_text}"
+    return matches[0]
+
+
+class TestPatternData:
+    def test_infers_target_shape(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul 0 ?x ?w1)")
+        data = pattern_data(eg, Pattern.parse("(matmul 0 ?x ?w1)"), m.subst)
+        assert data.shape == (8, 32) or data.shape == (8, 48)
+
+    def test_raises_on_ill_typed_target(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul 0 ?x ?w1)")
+        with pytest.raises(ShapeError):
+            # ?w1 @ ?x has incompatible inner dimensions.
+            pattern_data(eg, Pattern.parse("(matmul 0 ?w1 ?x)"), m.subst)
+
+    def test_unbound_variable_raises(self):
+        eg, _ = matmul_pair_egraph()
+        with pytest.raises(ShapeError):
+            pattern_data(eg, Pattern.parse("?missing"), {})
+
+
+class TestConditions:
+    def test_targets_shape_valid_accepts_good_target(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul 0 ?x ?w1)")
+        cond = targets_shape_valid([Pattern.parse("(matmul 1 ?x ?w1)")])
+        assert cond(eg, m)
+
+    def test_targets_shape_valid_rejects_bad_target(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul 0 ?x ?w1)")
+        cond = targets_shape_valid([Pattern.parse("(ewadd ?x ?w1)")])
+        assert not cond(eg, m)
+
+    def test_var_is_int(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul ?act ?x ?w1)")
+        assert var_is_int("act")(eg, m)
+        assert var_is_int("act", 0)(eg, m)
+        assert not var_is_int("act", 1)(eg, m)
+        assert not var_is_int("x")(eg, m)
+
+    def test_var_rank_is(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul ?act ?x ?w1)")
+        assert var_rank_is("x", 2)(eg, m)
+        assert not var_rank_is("x", 3)(eg, m)
+
+    def test_var_shape_axis_equal(self):
+        eg, _ = matmul_pair_egraph(cols1=32, cols2=32)
+        m = match_for(eg, "(noop (matmul 0 ?x ?w1) (matmul 0 ?x ?w2))")
+        assert var_shape_axis_equal("w1", "w2", 1)(eg, m)
+        assert var_shape_axis_equal("w1", "w2", 0)(eg, m)
+
+    def test_var_shape_axis_unequal(self):
+        eg, _ = matmul_pair_egraph(cols1=32, cols2=48)
+        m = match_for(eg, "(noop (matmul 0 ?x ?w1) (matmul 0 ?x ?w2))")
+        assert not var_shape_axis_equal("w1", "w2", 1)(eg, m)
+
+    def test_all_of(self):
+        eg, _ = matmul_pair_egraph()
+        m = match_for(eg, "(matmul ?act ?x ?w1)")
+        assert all_of(var_is_int("act"), var_rank_is("x", 2))(eg, m)
+        assert not all_of(var_is_int("act"), var_rank_is("x", 3))(eg, m)
+
+
+class TestConvConditions:
+    def conv_egraph(self, in_channels=8, weight_in=8, k1=1, k2=3):
+        b = GraphBuilder()
+        x = b.input("x", (1, in_channels, 10, 10))
+        w1 = b.weight("w1", (6, weight_in, k1, k1))
+        w2 = b.weight("w2", (10, weight_in, k2, k2))
+        g = b.finish(outputs=[b.conv(x, w1), b.conv(x, w2)])
+        return egraph_from_graph(g)
+
+    def test_conv_not_grouped_true_for_normal_conv(self):
+        eg, _ = self.conv_egraph()
+        m = match_for(eg, "(conv 1 1 0 0 ?x ?w1)")
+        assert conv_not_grouped("x", "w1")(eg, m)
+
+    def test_conv_not_grouped_false_for_grouped(self):
+        eg, _ = self.conv_egraph(in_channels=8, weight_in=4, k1=3, k2=3)
+        m = match_for(eg, "(conv 1 1 0 0 ?x ?w1)")
+        assert not conv_not_grouped("x", "w1")(eg, m)
+
+    def test_enlarge_compatible(self):
+        eg, _ = self.conv_egraph(k1=1, k2=3)
+        m = match_for(eg, "(noop (conv 1 1 0 0 ?x ?w1) (conv 1 1 0 0 ?x ?w2))")
+        assert enlarge_compatible("w1", "w2")(eg, m)
+        # Same-size kernels are excluded (handled by the plain merge rule).
+        assert not enlarge_compatible("w1", "w1")(eg, m)
+        # Reverse direction (shrinking) is excluded.
+        assert not enlarge_compatible("w2", "w1")(eg, m)
+
+    def test_enlarge_incompatible_even_target(self):
+        eg, _ = self.conv_egraph(k1=1, k2=4)
+        m = match_for(eg, "(noop (conv 1 1 0 0 ?x ?w1) (conv 1 1 0 0 ?x ?w2))")
+        assert not enlarge_compatible("w1", "w2")(eg, m)

@@ -1,0 +1,71 @@
+"""Tests for TensatConfig and OptimizationStats."""
+
+import pytest
+
+from repro.core import OptimizationStats, TensatConfig
+
+
+class TestTensatConfig:
+    def test_paper_defaults(self):
+        cfg = TensatConfig.paper_defaults()
+        assert cfg.node_limit == 50_000
+        assert cfg.iter_limit == 15
+        assert cfg.k_multi == 1
+        assert cfg.extraction == "ilp"
+        assert cfg.cycle_filter == "efficient"
+        assert not cfg.ilp_cycle_constraints
+
+    def test_fast_preset_is_smaller(self):
+        fast = TensatConfig.fast()
+        assert fast.node_limit < TensatConfig().node_limit
+
+    def test_with_overrides(self):
+        cfg = TensatConfig().with_overrides(k_multi=3, extraction="greedy")
+        assert cfg.k_multi == 3
+        assert cfg.extraction == "greedy"
+        # original untouched (frozen dataclass)
+        assert TensatConfig().k_multi == 1
+
+    def test_invalid_extraction_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(extraction="magic")
+
+    def test_invalid_cycle_filter_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(cycle_filter="sometimes")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(ilp_backend="gurobi")
+
+    def test_nonpositive_limits_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(node_limit=0)
+        with pytest.raises(ValueError):
+            TensatConfig(iter_limit=0)
+        with pytest.raises(ValueError):
+            TensatConfig(k_multi=-1)
+
+    def test_no_cycle_handling_at_all_is_rejected(self):
+        # cycle_filter="none" + ILP without cycle constraints could extract a cyclic graph.
+        with pytest.raises(ValueError):
+            TensatConfig(cycle_filter="none", extraction="ilp", ilp_cycle_constraints=False)
+
+    def test_none_filter_with_cycle_constraints_is_allowed(self):
+        cfg = TensatConfig(cycle_filter="none", ilp_cycle_constraints=True)
+        assert cfg.cycle_filter == "none"
+
+
+class TestOptimizationStats:
+    def test_speedup_percent(self):
+        stats = OptimizationStats(original_cost=2.0, optimized_cost=1.0)
+        assert stats.speedup_percent == pytest.approx(100.0)
+
+    def test_speedup_zero_when_no_cost(self):
+        assert OptimizationStats().speedup_percent == 0.0
+
+    def test_as_dict_keys(self):
+        stats = OptimizationStats(original_cost=2.0, optimized_cost=1.0, stop_reason="saturated")
+        d = stats.as_dict()
+        assert d["stop_reason"] == "saturated"
+        assert d["speedup_percent"] == pytest.approx(100.0)

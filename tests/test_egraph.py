@@ -1,0 +1,169 @@
+"""Tests for the e-graph data structure (hash-consing, union, rebuild, analyses)."""
+
+import pytest
+
+from repro.egraph.analysis import ConstantFoldAnalysis, DepthAnalysis
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import ENode, RecExpr
+
+
+class TestAdd:
+    def test_add_leaf(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        assert eg.num_eclasses == 1
+        assert eg.num_enodes == 1
+        assert eg.find(a) == a
+
+    def test_add_is_hash_consed(self):
+        eg = EGraph()
+        first = eg.add(ENode("a"))
+        second = eg.add(ENode("a"))
+        assert first == second
+        assert eg.num_enodes == 1
+
+    def test_add_compound(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        f = eg.add(ENode("f", (a, b)))
+        assert eg.num_eclasses == 3
+        assert eg.find(f) != eg.find(a)
+
+    def test_add_expr(self):
+        eg = EGraph()
+        root = eg.add_term("(f (g a) (g a))")
+        assert eg.num_eclasses == 3  # a, (g a), (f _ _)
+        assert eg.represents(root, RecExpr.parse("(f (g a) (g a))"))
+
+    def test_lookup(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        assert eg.lookup(ENode("a")) == a
+        assert eg.lookup(ENode("missing")) is None
+
+
+class TestUnion:
+    def test_union_merges_classes(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        eg.union(a, b)
+        assert eg.equivalent(a, b)
+        assert eg.num_eclasses == 1
+        assert eg.num_enodes == 2
+
+    def test_union_same_class_is_noop(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        before = eg.num_unions
+        eg.union(a, a)
+        assert eg.num_unions == before
+
+    def test_congruence_closure_via_rebuild(self):
+        # If a == b then f(a) == f(b) after rebuilding.
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        fa = eg.add(ENode("f", (a,)))
+        fb = eg.add(ENode("f", (b,)))
+        assert not eg.equivalent(fa, fb)
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.equivalent(fa, fb)
+
+    def test_congruence_propagates_upwards(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        fa = eg.add(ENode("f", (a,)))
+        fb = eg.add(ENode("f", (b,)))
+        gfa = eg.add(ENode("g", (fa,)))
+        gfb = eg.add(ENode("g", (fb,)))
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.equivalent(gfa, gfb)
+
+    def test_rebuild_returns_extra_union_count(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        eg.add(ENode("f", (a,)))
+        eg.add(ENode("f", (b,)))
+        eg.union(a, b)
+        assert eg.rebuild() == 1
+
+    def test_is_clean(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        assert eg.is_clean()
+        eg.union(a, b)
+        assert not eg.is_clean()
+        eg.rebuild()
+        assert eg.is_clean()
+
+
+class TestRepresents:
+    def test_initial_term_is_represented(self):
+        eg = EGraph()
+        root = eg.add_term("(/ (* a 2) 2)")
+        assert eg.represents(root, RecExpr.parse("(/ (* a 2) 2)"))
+
+    def test_rewritten_term_becomes_represented(self):
+        eg = EGraph()
+        root = eg.add_term("(* a 2)")
+        shifted = eg.add_term("(<< a 1)")
+        assert not eg.represents(root, RecExpr.parse("(<< a 1)"))
+        eg.union(root, shifted)
+        eg.rebuild()
+        assert eg.represents(root, RecExpr.parse("(<< a 1)"))
+        assert eg.represents(root, RecExpr.parse("(* a 2)"))
+
+
+class TestAnalyses:
+    def test_depth_analysis(self):
+        eg = EGraph(analysis=DepthAnalysis())
+        root = eg.add_term("(f (g a))")
+        assert eg.analysis_data(root) == 3
+
+    def test_depth_analysis_merge_takes_min(self):
+        eg = EGraph(analysis=DepthAnalysis())
+        deep = eg.add_term("(f (g a))")
+        shallow = eg.add_term("b")
+        eg.union(deep, shallow)
+        eg.rebuild()
+        assert eg.analysis_data(deep) == 1
+
+    def test_constant_folding(self):
+        eg = EGraph(analysis=ConstantFoldAnalysis())
+        root = eg.add_term("(+ (* 2 3) 4)")
+        assert eg.analysis_data(root) == 10
+        # modify() adds the folded constant into the class.
+        assert eg.represents(root, RecExpr.parse("10"))
+
+    def test_constant_folding_partial(self):
+        eg = EGraph(analysis=ConstantFoldAnalysis())
+        root = eg.add_term("(+ x 1)")
+        assert eg.analysis_data(root) is None
+
+
+class TestExportAndSummary:
+    def test_to_dot_contains_classes(self):
+        eg = EGraph()
+        eg.add_term("(f a b)")
+        dot = eg.to_dot()
+        assert dot.startswith("digraph")
+        assert "cluster_" in dot
+
+    def test_summary_keys(self):
+        eg = EGraph()
+        eg.add_term("(f a b)")
+        summary = eg.summary()
+        assert summary == {"eclasses": 3, "enodes": 3, "unions": 0}
+
+    def test_extract_any_returns_represented_term(self):
+        eg = EGraph()
+        root = eg.add_term("(f (g a))")
+        expr = eg.extract_any(root)
+        assert str(expr) == "(f (g a))"

@@ -1,0 +1,87 @@
+"""Tests for e-matching."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import count_matches, search_eclass, search_pattern
+from repro.egraph.language import ENode
+from repro.egraph.pattern import Pattern
+
+
+def build_simple_egraph():
+    eg = EGraph()
+    root = eg.add_term("(ewadd (matmul 0 x w1) (matmul 0 x w2))")
+    return eg, root
+
+
+class TestSearchPattern:
+    def test_single_match(self):
+        eg, root = build_simple_egraph()
+        matches = search_pattern(eg, Pattern.parse("(ewadd ?a ?b)"))
+        assert len(matches) == 1
+        assert matches[0].eclass == eg.find(root)
+
+    def test_multiple_matches(self):
+        eg, _ = build_simple_egraph()
+        matches = search_pattern(eg, Pattern.parse("(matmul 0 ?a ?b)"))
+        assert len(matches) == 2
+
+    def test_shared_variable_constrains(self):
+        eg, root = build_simple_egraph()
+        # Both matmuls share x, so this matches.
+        matches = search_pattern(eg, Pattern.parse("(ewadd (matmul 0 ?a ?b) (matmul 0 ?a ?c))"))
+        assert len(matches) == 1
+        subst = matches[0].subst
+        assert eg.analysis_data(subst["a"]) is None  # trivially valid access
+
+    def test_shared_variable_mismatch_yields_no_match(self):
+        eg = EGraph()
+        eg.add_term("(ewadd (matmul 0 x w1) (matmul 0 y w2))")
+        matches = search_pattern(eg, Pattern.parse("(ewadd (matmul 0 ?a ?b) (matmul 0 ?a ?c))"))
+        assert matches == []
+
+    def test_no_match_for_absent_operator(self):
+        eg, _ = build_simple_egraph()
+        assert search_pattern(eg, Pattern.parse("(conv ?a ?b ?c ?d ?e ?f)")) == []
+
+    def test_match_after_union_sees_both_alternatives(self):
+        eg = EGraph()
+        mul = eg.add_term("(* a 2)")
+        shift = eg.add_term("(<< a 1)")
+        eg.union(mul, shift)
+        eg.rebuild()
+        assert count_matches(eg, Pattern.parse("(* ?x 2)")) == 1
+        assert count_matches(eg, Pattern.parse("(<< ?x 1)")) == 1
+
+    def test_variable_pattern_matches_every_class(self):
+        eg, _ = build_simple_egraph()
+        matches = search_pattern(eg, Pattern.parse("?x"))
+        assert len(matches) == eg.num_eclasses
+
+    def test_ground_pattern(self):
+        eg, _ = build_simple_egraph()
+        matches = search_pattern(eg, Pattern.parse("(matmul 0 x w1)"))
+        assert len(matches) == 1
+
+    def test_substitutions_are_canonical(self):
+        eg, _ = build_simple_egraph()
+        extra = eg.add(ENode("z"))
+        x = eg.lookup(ENode("x"))
+        eg.union(x, extra)
+        eg.rebuild()
+        matches = search_pattern(eg, Pattern.parse("(matmul 0 ?a ?b)"))
+        for m in matches:
+            for cls in m.subst.values():
+                assert eg.find(cls) == cls
+
+
+class TestSearchEclass:
+    def test_search_specific_class(self):
+        eg, root = build_simple_egraph()
+        assert search_eclass(eg, Pattern.parse("(ewadd ?a ?b)"), root)
+        matmul_class = eg.lookup(ENode("matmul", tuple()))  # not present: arity mismatch
+        assert matmul_class is None
+
+    def test_deduplicates_identical_substitutions(self):
+        eg = EGraph()
+        root = eg.add_term("(ewadd a a)")
+        matches = search_eclass(eg, Pattern.parse("(ewadd ?x ?x)"), root)
+        assert len(matches) == 1

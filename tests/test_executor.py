@@ -1,0 +1,91 @@
+"""Tests for the graph executor."""
+
+import numpy as np
+import pytest
+
+from repro.backend.executor import Executor, execute_graph, outputs_allclose, random_feeds
+from repro.ir.graph import GraphBuilder
+from repro.ir.ops import Activation, Padding
+
+
+def simple_graph():
+    b = GraphBuilder("simple")
+    x = b.input("x", (4, 8))
+    w = b.weight("w", (8, 16))
+    return b.finish(outputs=[b.relu(b.matmul(x, w))])
+
+
+class TestRandomFeeds:
+    def test_covers_all_identifiers(self):
+        g = simple_graph()
+        feeds = random_feeds(g)
+        assert set(feeds) == {"x@4 8", "w@8 16"}
+        assert feeds["x@4 8"].shape == (4, 8)
+
+    def test_deterministic_per_identifier(self):
+        g = simple_graph()
+        a = random_feeds(g)
+        b = random_feeds(g)
+        assert np.array_equal(a["x@4 8"], b["x@4 8"])
+
+    def test_salt_changes_data(self):
+        g = simple_graph()
+        assert not np.array_equal(random_feeds(g, salt=0)["x@4 8"], random_feeds(g, salt=1)["x@4 8"])
+
+
+class TestExecutor:
+    def test_matches_manual_numpy(self):
+        g = simple_graph()
+        feeds = random_feeds(g)
+        result = execute_graph(g, feeds)
+        expected = np.maximum(feeds["x@4 8"] @ feeds["w@8 16"], 0.0)
+        assert np.allclose(result.output(), expected)
+
+    def test_explicit_feeds_override_defaults(self):
+        g = simple_graph()
+        x = np.ones((4, 8))
+        w = np.ones((8, 16))
+        result = execute_graph(g, {"x@4 8": x, "w@8 16": w})
+        assert np.allclose(result.output(), 8.0)
+
+    def test_wrong_feed_shape_raises(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            execute_graph(g, {"x@4 8": np.ones((3, 8))})
+
+    def test_multiple_outputs(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 4))
+        w1 = b.weight("w1", (4, 3))
+        w2 = b.weight("w2", (4, 5))
+        g = b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
+        result = execute_graph(g)
+        assert result.output(0).shape == (2, 3)
+        assert result.output(1).shape == (2, 5)
+
+    def test_conv_pool_pipeline_runs(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 3, 8, 8))
+        w = b.weight("w", (4, 3, 3, 3))
+        c = b.conv(x, w, activation=Activation.RELU)
+        p = b.poolavg(c, (2, 2), (2, 2), Padding.VALID)
+        g = b.finish(outputs=[p])
+        result = execute_graph(g)
+        assert result.output().shape == g.nodes[g.outputs[0]].shape
+
+    def test_outputs_allclose(self):
+        g = simple_graph()
+        a = execute_graph(g, salt=0)
+        b = execute_graph(g, salt=0)
+        c = execute_graph(g, salt=1)
+        assert outputs_allclose(a, b)
+        assert not outputs_allclose(a, c)
+
+    def test_outputs_allclose_length_mismatch(self):
+        g = simple_graph()
+        b2 = GraphBuilder()
+        x = b2.input("x", (2, 4))
+        w1 = b2.weight("w1", (4, 3))
+        w2 = b2.weight("w2", (4, 5))
+        g2 = b2.finish(outputs=[b2.matmul(x, w1), b2.matmul(x, w2)])
+        assert not outputs_allclose(execute_graph(g), execute_graph(g2))

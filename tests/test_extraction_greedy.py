@@ -1,0 +1,105 @@
+"""Tests for greedy extraction."""
+
+import pytest
+
+from repro.egraph.cycles import FilterList
+from repro.egraph.egraph import EGraph
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.language import ENode
+from repro.egraph.rewrite import Rewrite
+from repro.egraph.runner import Runner, RunnerLimits
+
+
+def cost_table(table, default=1.0):
+    return lambda enode, egraph: table.get(enode.op, default)
+
+
+class TestGreedyExtraction:
+    def test_extracts_original_term_without_rewrites(self):
+        eg = EGraph()
+        root = eg.add_term("(f (g a) b)")
+        result = GreedyExtractor(cost_table({})).extract(eg, root)
+        assert str(result.expr) == "(f (g a) b)"
+
+    def test_picks_cheaper_alternative(self):
+        eg = EGraph()
+        root = eg.add_term("(* a 2)")
+        Rewrite.parse("strength", "(* ?x 2)", "(<< ?x 1)").run(eg)
+        eg.rebuild()
+        result = GreedyExtractor(cost_table({"*": 5.0, "<<": 1.0}, default=0.0)).extract(eg, root)
+        assert str(result.expr) == "(<< a 1)"
+        assert result.cost == pytest.approx(1.0)
+
+    def test_keeps_original_when_alternative_is_costlier(self):
+        eg = EGraph()
+        root = eg.add_term("(* a 2)")
+        Rewrite.parse("strength", "(* ?x 2)", "(<< ?x 1)").run(eg)
+        eg.rebuild()
+        result = GreedyExtractor(cost_table({"*": 1.0, "<<": 5.0}, default=0.0)).extract(eg, root)
+        assert str(result.expr) == "(* a 2)"
+
+    def test_respects_filter_list(self):
+        eg = EGraph()
+        root = eg.add_term("(* a 2)")
+        Rewrite.parse("strength", "(* ?x 2)", "(<< ?x 1)").run(eg)
+        eg.rebuild()
+        flist = FilterList()
+        a = eg.add_term("a")
+        one = eg.add_term("1")
+        flist.add(eg, ENode("<<", (eg.find(a), eg.find(one))))
+        result = GreedyExtractor(
+            cost_table({"*": 5.0, "<<": 1.0}, default=0.0), filter_list=flist
+        ).extract(eg, root)
+        # The cheap shift node is filtered, so greedy must pick the multiply.
+        assert str(result.expr) == "(* a 2)"
+
+    def test_shared_subgraph_extracted_once(self):
+        eg = EGraph()
+        root = eg.add_term("(noop (f a) (f a))")
+        result = GreedyExtractor(cost_table({}, default=1.0)).extract(eg, root)
+        f_nodes = [n for n in result.expr.nodes if n.op == "f"]
+        assert len(f_nodes) == 1
+
+    def test_greedy_ignores_sharing_in_cost_decision(self):
+        """The paper's motivating weakness (Section 5.1 / 6.5).
+
+        Class R has two choices: an expensive standalone node, or a cheap pair
+        of projections of a shared expensive node.  Because greedy sums
+        subtree costs independently, it sees the shared node's cost twice and
+        wrongly prefers the standalone option.
+        """
+        eg = EGraph()
+        # Build: root = noop(p0(shared), p1(shared)); alternatives a0, a1.
+        shared = eg.add_term("(shared x)")
+        p0 = eg.add(ENode("p0", (shared,)))
+        p1 = eg.add(ENode("p1", (shared,)))
+        a0 = eg.add_term("(alt0 x)")
+        a1 = eg.add_term("(alt1 x)")
+        eg.union(p0, a0)
+        eg.union(p1, a1)
+        eg.rebuild()
+        root = eg.add(ENode("noop", (eg.find(p0), eg.find(p1))))
+
+        costs = {"shared": 10.0, "p0": 0.0, "p1": 0.0, "alt0": 7.0, "alt1": 7.0, "noop": 0.0, "x": 0.0}
+        result = GreedyExtractor(cost_table(costs)).extract(eg, root)
+        ops = set(result.expr.ops())
+        # Greedy picks the two standalone alternatives (total 14) instead of the
+        # globally better shared plan (total 10).
+        assert "alt0" in ops and "alt1" in ops
+        assert result.cost == pytest.approx(14.0)
+
+    def test_missing_root_raises(self):
+        eg = EGraph()
+        root = eg.add_term("(f a)")
+        flist = FilterList()
+        a = eg.add_term("a")
+        flist.add(eg, ENode("f", (eg.find(a),)))
+        with pytest.raises(ValueError):
+            GreedyExtractor(cost_table({}), filter_list=flist).extract(eg, root)
+
+    def test_cost_is_dag_aware_in_report(self):
+        eg = EGraph()
+        root = eg.add_term("(noop (f a) (f a))")
+        result = GreedyExtractor(cost_table({}, default=1.0)).extract(eg, root)
+        # noop + f + a = 3 distinct nodes -> cost 3, not 5.
+        assert result.cost == pytest.approx(3.0)

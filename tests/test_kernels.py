@@ -1,0 +1,204 @@
+"""Tests for the numpy operator kernels (reference semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernels import apply_activation, conv2d, execute_symbol, pool2d
+from repro.ir.ops import Activation, Padding
+from repro.ir.shapes import infer_symbol
+from repro.ir.tensor import ShapeError, TensorData
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(apply_activation(x, Activation.RELU), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        x = np.linspace(-5, 5, 11)
+        y = apply_activation(x, Activation.SIGMOID)
+        assert np.all((y > 0) & (y < 1))
+
+    def test_tanh(self):
+        x = np.array([0.0, 1.0])
+        assert np.allclose(apply_activation(x, Activation.TANH), np.tanh(x))
+
+    def test_none_is_identity(self):
+        x = np.array([1.0, -2.0])
+        assert apply_activation(x, Activation.NONE) is x
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ShapeError):
+            apply_activation(np.zeros(2), 7)
+
+
+def reference_conv(x, w, stride, padding):
+    """Straightforward quadruple-loop convolution used as ground truth."""
+    n, c_in, h, win = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    groups = c_in // c_in_g
+    c_out_g = c_out // groups
+    sh, sw = stride
+    if padding == Padding.SAME:
+        out_h = int(np.ceil(h / sh))
+        out_w = int(np.ceil(win / sw))
+        pad_h = max((out_h - 1) * sh + kh - h, 0)
+        pad_w = max((out_w - 1) * sw + kw - win, 0)
+        x = np.pad(x, ((0, 0), (0, 0), (pad_h // 2, pad_h - pad_h // 2), (pad_w // 2, pad_w - pad_w // 2)))
+    else:
+        out_h = (h - kh) // sh + 1
+        out_w = (win - kw) // sw + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for b in range(n):
+        for g in range(groups):
+            for oc in range(c_out_g):
+                for oh in range(out_h):
+                    for ow in range(out_w):
+                        acc = 0.0
+                        for ic in range(c_in_g):
+                            for i in range(kh):
+                                for j in range(kw):
+                                    acc += (
+                                        x[b, g * c_in_g + ic, oh * sh + i, ow * sw + j]
+                                        * w[g * c_out_g + oc, ic, i, j]
+                                    )
+                        out[b, g * c_out_g + oc, oh, ow] = acc
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("padding", [Padding.SAME, Padding.VALID])
+    @pytest.mark.parametrize("stride", [(1, 1), (2, 2)])
+    def test_matches_reference(self, padding, stride):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 4, 8, 8))
+        w = rng.standard_normal((6, 4, 3, 3))
+        ours = conv2d(x, w, stride, padding, Activation.NONE)
+        ref = reference_conv(x, w, stride, padding)
+        assert ours.shape == ref.shape
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_grouped_matches_reference(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 6, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))  # 2 groups
+        ours = conv2d(x, w, (1, 1), Padding.SAME, Activation.NONE)
+        ref = reference_conv(x, w, (1, 1), Padding.SAME)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_depthwise(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 4, 5, 5))
+        w = rng.standard_normal((4, 1, 3, 3))
+        ours = conv2d(x, w, (1, 1), Padding.SAME, Activation.NONE)
+        ref = reference_conv(x, w, (1, 1), Padding.SAME)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_activation_applied(self):
+        x = -np.ones((1, 1, 3, 3))
+        w = np.ones((1, 1, 1, 1))
+        out = conv2d(x, w, (1, 1), Padding.SAME, Activation.RELU)
+        assert np.all(out == 0.0)
+
+    def test_shape_matches_inference(self):
+        x = np.zeros((1, 8, 13, 13))
+        w = np.zeros((16, 8, 3, 3))
+        out = conv2d(x, w, (2, 2), Padding.SAME, Activation.NONE)
+        inferred = infer_symbol(
+            "conv",
+            [TensorData.integer(2), TensorData.integer(2), TensorData.integer(0), TensorData.integer(0),
+             TensorData.tensor((1, 8, 13, 13)), TensorData.tensor((16, 8, 3, 3))],
+        )
+        assert out.shape == inferred.shape
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool2d(x, (2, 2), (2, 2), Padding.VALID, Activation.NONE, "max")
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.ones((1, 2, 4, 4))
+        out = pool2d(x, (2, 2), (2, 2), Padding.VALID, Activation.NONE, "avg")
+        assert np.allclose(out, 1.0)
+
+    def test_same_padding_max_ignores_pad(self):
+        x = np.full((1, 1, 3, 3), -2.0)
+        out = pool2d(x, (3, 3), (1, 1), Padding.SAME, Activation.NONE, "max")
+        # -inf padding never wins the max.
+        assert np.all(out == -2.0)
+
+
+class TestExecuteSymbol:
+    def test_ewadd_ewmul(self):
+        a, b = np.ones((2, 2)), np.full((2, 2), 3.0)
+        assert np.allclose(execute_symbol("ewadd", [a, b]), 4.0)
+        assert np.allclose(execute_symbol("ewmul", [a, b]), 3.0)
+
+    def test_matmul_with_activation(self):
+        a = np.array([[1.0, -1.0]])
+        b = np.array([[1.0], [2.0]])
+        out = execute_symbol("matmul", [1, a, b])  # relu
+        assert np.allclose(out, [[0.0]])
+
+    def test_transpose(self):
+        x = np.arange(6.0).reshape(2, 3)
+        out = execute_symbol("transpose", [x, "1 0"])
+        assert out.shape == (3, 2)
+
+    def test_concat_and_split_roundtrip(self):
+        x = np.ones((2, 3))
+        y = np.zeros((2, 5))
+        cat = execute_symbol("concat2", [1, x, y])
+        cat_data = infer_symbol(
+            "concat2", [TensorData.integer(1), TensorData.tensor((2, 3)), TensorData.tensor((2, 5))]
+        )
+        parts = execute_symbol("split", [1, cat], [TensorData.integer(1), cat_data])
+        assert np.allclose(execute_symbol("split0", [parts]), x)
+        assert np.allclose(execute_symbol("split1", [parts]), y)
+
+    def test_split_without_metadata_raises(self):
+        with pytest.raises(ShapeError):
+            execute_symbol("split", [1, np.ones((2, 4))])
+
+    def test_enlarge_pads_center(self):
+        small = np.ones((1, 1, 1, 1))
+        ref = np.zeros((1, 1, 3, 3))
+        out = execute_symbol("enlarge", [small, ref])
+        assert out.shape == (1, 1, 3, 3)
+        assert out[0, 0, 1, 1] == 1.0
+        assert out.sum() == 1.0
+
+    def test_merge_block_diagonal(self):
+        w = np.ones((4, 2, 1, 1))
+        merged = execute_symbol("merge", [w, 2])
+        assert merged.shape == (4, 4, 1, 1)
+        # First two output channels read only the first two input channels.
+        assert merged[0, 2:, 0, 0].sum() == 0.0
+        assert merged[3, :2, 0, 0].sum() == 0.0
+
+    def test_reshape(self):
+        x = np.arange(12.0).reshape(3, 4)
+        out = execute_symbol("reshape", [x, "2 6"])
+        assert out.shape == (2, 6)
+
+    def test_literals(self):
+        assert execute_symbol("7", []) == 7
+        assert execute_symbol("0 2 1", []) == "0 2 1"
+
+    def test_input_requires_binding(self):
+        with pytest.raises(ShapeError):
+            execute_symbol("input", ["x@2 2"])
+
+    def test_enlarge_identity_semantics_under_same_padding(self):
+        """conv(x, w_1x1) == conv(x, enlarge(w_1x1, w_3x3)) with SAME padding, stride 1."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 6, 6))
+        w1 = rng.standard_normal((5, 4, 1, 1))
+        ref3 = np.zeros((7, 4, 3, 3))
+        enlarged = execute_symbol("enlarge", [w1, ref3])
+        out_small = conv2d(x, w1, (1, 1), Padding.SAME, Activation.NONE)
+        out_large = conv2d(x, enlarged, (1, 1), Padding.SAME, Activation.NONE)
+        assert np.allclose(out_small, out_large, atol=1e-10)

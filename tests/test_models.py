@@ -1,0 +1,113 @@
+"""Tests for the benchmark model constructors."""
+
+import pytest
+
+from repro.backend import execute_graph
+from repro.costs import AnalyticCostModel
+from repro.ir.ops import OpKind
+from repro.ir.validate import validate_graph
+from repro.models import MODEL_NAMES, build_model, model_registry
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        registry = model_registry()
+        assert set(MODEL_NAMES) == set(registry)
+
+    def test_aliases(self):
+        g = build_model("ResNeXt-50", "tiny")
+        assert g.name.startswith("resnext")
+        g = build_model("NasNet-A", "tiny")
+        assert g.name.startswith("nasnet")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("bert", scale="huge")
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestEveryModel:
+    def test_tiny_graph_is_valid(self, name):
+        g = build_model(name, "tiny")
+        validate_graph(g)
+        assert g.num_compute_nodes() > 0
+
+    def test_small_graph_is_valid_and_bigger(self, name):
+        tiny = build_model(name, "tiny")
+        small = build_model(name, "small")
+        validate_graph(small)
+        assert small.num_compute_nodes() >= tiny.num_compute_nodes()
+
+    def test_tiny_graph_executes(self, name):
+        g = build_model(name, "tiny")
+        result = execute_graph(g)
+        assert len(result.outputs) == len(g.outputs)
+
+    def test_cost_is_positive(self, name):
+        cm = AnalyticCostModel()
+        assert cm.graph_cost(build_model(name, "tiny")) > 0
+
+
+class TestArchitectureStructure:
+    def test_nasrnn_has_many_matmuls_sharing_inputs(self):
+        g = build_model("nasrnn", "small")
+        assert g.op_histogram()["matmul"] >= 16
+
+    def test_bert_has_attention_and_ffn_matmuls(self):
+        g = build_model("bert", "small", layers=1)
+        hist = g.op_histogram()
+        assert hist["matmul"] == 8  # q, k, v, scores, context, out, ffn1, ffn2
+        assert hist["transpose"] == 1
+
+    def test_resnext_uses_grouped_convolutions(self):
+        g = build_model("resnext", "tiny")
+        grouped = [
+            n
+            for n in g.nodes
+            if n.op == OpKind.CONV
+            and g.nodes[n.inputs[4]].data.shape[1] != g.nodes[n.inputs[5]].data.shape[1]
+        ]
+        assert grouped, "expected at least one grouped convolution"
+
+    def test_squeezenet_fire_modules_share_squeeze_output(self):
+        g = build_model("squeezenet", "tiny")
+        consumers = g.consumers()
+        conv_inputs = {}
+        for n in g.nodes:
+            if n.op == OpKind.CONV:
+                conv_inputs.setdefault(n.inputs[4], []).append(n.id)
+        assert any(len(v) >= 2 for v in conv_inputs.values()), "expand convs must share an input"
+
+    def test_inception_concatenates_four_branches(self):
+        g = build_model("inception", "tiny")
+        concat_nodes = [n for n in g.nodes if n.op == OpKind.CONCAT]
+        assert any(len(n.inputs) == 5 for n in concat_nodes)  # axis + 4 tensors
+
+    def test_vgg_is_a_chain_without_sharing(self):
+        g = build_model("vgg", "tiny")
+        consumers = g.consumers()
+        conv_ids = [n.id for n in g.nodes if n.op == OpKind.CONV]
+        for cid in conv_ids:
+            assert len(consumers[cid]) <= 1
+
+    def test_nasnet_contains_depthwise_separable_convs(self):
+        g = build_model("nasnet", "small")
+        depthwise = [
+            n
+            for n in g.nodes
+            if n.op == OpKind.CONV and g.nodes[n.inputs[5]].data.shape[1] == 1
+        ]
+        assert depthwise
+
+    def test_scale_overrides(self):
+        g = build_model("bert", "tiny", layers=3)
+        assert g.op_histogram()["matmul"] == 3 * 8
+
+    def test_models_have_single_or_known_outputs(self):
+        for name in MODEL_NAMES:
+            g = build_model(name, "tiny")
+            assert len(g.outputs) >= 1

@@ -1,0 +1,136 @@
+"""Tests for multi-pattern rewrites (paper Algorithm 1)."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import RecExpr
+from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
+from repro.egraph.runner import Runner, RunnerLimits
+
+
+def matmul_merge_rule(condition=None):
+    """The paper's Figure-2 rule (without shape checking unless provided)."""
+    return MultiPatternRewrite.parse(
+        "matmul-merge",
+        sources=["(matmul ?a ?x ?w1)", "(matmul ?a ?x ?w2)"],
+        targets=[
+            "(split0 (split 1 (matmul ?a ?x (concat2 1 ?w1 ?w2))))",
+            "(split1 (split 1 (matmul ?a ?x (concat2 1 ?w1 ?w2))))",
+        ],
+        condition=condition,
+    )
+
+
+def shared_input_egraph():
+    eg = EGraph()
+    root = eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2))")
+    return eg, root
+
+
+class TestConstruction:
+    def test_mismatched_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPatternRewrite.parse("bad", ["(f ?x)", "(g ?x)"], ["(h ?x)"])
+
+    def test_unbound_target_variable_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPatternRewrite.parse("bad", ["(f ?x)"], ["(g ?y)"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPatternRewrite(name="bad", sources=[], targets=[])
+
+
+class TestSearch:
+    def test_finds_compatible_combination(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        combos = rule.search(eg)
+        # (m1, m2) and (m2, m1): identical pairs are skipped by skip_identical.
+        assert len(combos) == 2
+        for combo in combos:
+            assert len(set(combo.eclasses)) == 2
+
+    def test_incompatible_shared_variable_rejected(self):
+        eg = EGraph()
+        eg.add_term("(noop (matmul 0 x w1) (matmul 0 y w2))")
+        combos = matmul_merge_rule().search(eg)
+        # The two matmuls do not share ?x, so the only surviving combinations
+        # pair each matmul with itself -- and those are skipped.
+        assert combos == []
+
+    def test_skip_identical_can_be_disabled(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        rule.skip_identical = False
+        combos = rule.search(eg)
+        assert len(combos) == 4  # (m1,m1), (m1,m2), (m2,m1), (m2,m2)
+
+    def test_condition_filters_combinations(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule(condition=lambda g, m: False)
+        assert rule.search(eg) == []
+
+    def test_max_combinations_cap(self):
+        eg, _ = shared_input_egraph()
+        combos = matmul_merge_rule().search(eg, max_combinations=1)
+        assert len(combos) <= 1
+
+
+class TestApply:
+    def test_apply_unions_both_outputs(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        combos = rule.search(eg)
+        assert rule.apply_match(eg, combos[0])
+        eg.rebuild()
+        m1 = eg.add_term("(matmul 0 x w1)")
+        assert eg.represents(m1, RecExpr.parse("(split0 (split 1 (matmul 0 x (concat2 1 w1 w2))))")) or \
+            eg.represents(m1, RecExpr.parse("(split1 (split 1 (matmul 0 x (concat2 1 w2 w1))))"))
+
+    def test_runner_applies_multi_rules_only_before_kmulti(self):
+        eg, _ = shared_input_egraph()
+        runner = Runner(
+            eg,
+            rewrites=[],
+            multi_rewrites=[matmul_merge_rule()],
+            limits=RunnerLimits(iter_limit=4, k_multi=0),
+        )
+        report = runner.run()
+        # k_multi = 0: multi rules never fire, e-graph saturates immediately.
+        assert report.iterations[0].n_applied == 0
+
+    def test_runner_with_kmulti_one_grows_egraph(self):
+        eg, _ = shared_input_egraph()
+        before = eg.num_enodes
+        runner = Runner(
+            eg,
+            rewrites=[],
+            multi_rewrites=[matmul_merge_rule()],
+            limits=RunnerLimits(iter_limit=4, k_multi=1),
+        )
+        runner.run()
+        assert eg.num_enodes > before
+
+
+class TestSearcherSharing:
+    def test_alpha_equivalent_sources_share_canonical_patterns(self):
+        rule_a = matmul_merge_rule()
+        rule_b = MultiPatternRewrite.parse(
+            "other-merge",
+            sources=["(matmul ?act ?input ?wa)", "(matmul ?act ?input ?wb)"],
+            targets=["?wa", "?wb"],
+        )
+        searcher = MultiPatternSearcher([rule_a, rule_b])
+        # All four source patterns are alpha-equivalent -> one canonical pattern.
+        assert searcher.num_unique_patterns == 1
+
+    def test_searcher_results_match_standalone_search(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        searcher = MultiPatternSearcher([rule])
+        results = searcher.search(eg)
+        assert len(results) == 1
+        _, combos = results[0]
+        standalone = rule.search(eg)
+        assert {c.eclasses for c in combos} == {c.eclasses for c in standalone}

@@ -1,0 +1,82 @@
+"""Tests for operator kinds and symbol mapping."""
+
+import pytest
+
+from repro.ir.ops import CONCAT_MAX_INPUTS, Activation, OpKind, Padding, op_symbol, symbol_to_op
+
+
+class TestOpKind:
+    def test_compute_classification(self):
+        assert OpKind.MATMUL.is_compute
+        assert OpKind.CONV.is_compute
+        assert not OpKind.INPUT.is_compute
+        assert not OpKind.NUM.is_compute
+        assert not OpKind.NOOP.is_compute
+
+    def test_literal_classification(self):
+        assert OpKind.NUM.is_literal and OpKind.STR.is_literal
+        assert not OpKind.RELU.is_literal
+
+    def test_identifier_classification(self):
+        assert OpKind.INPUT.is_identifier and OpKind.WEIGHT.is_identifier
+
+    def test_activation_classification(self):
+        assert OpKind.RELU.is_activation and OpKind.TANH.is_activation
+        assert not OpKind.MATMUL.is_activation
+
+
+class TestOpSymbol:
+    def test_simple_ops(self):
+        assert op_symbol(OpKind.MATMUL) == "matmul"
+        assert op_symbol(OpKind.EWADD) == "ewadd"
+
+    def test_literals_use_value(self):
+        assert op_symbol(OpKind.NUM, value=3) == "3"
+        assert op_symbol(OpKind.STR, value="0 1") == "0 1"
+
+    def test_concat_symbol_includes_arity(self):
+        assert op_symbol(OpKind.CONCAT, num_inputs=3) == "concat2"
+        assert op_symbol(OpKind.CONCAT, num_inputs=5) == "concat4"
+
+    def test_concat_without_arity_rejected(self):
+        with pytest.raises(ValueError):
+            op_symbol(OpKind.CONCAT)
+
+    def test_concat_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            op_symbol(OpKind.CONCAT, num_inputs=CONCAT_MAX_INPUTS + 2)
+
+
+class TestSymbolToOp:
+    def test_roundtrip_operators(self):
+        for op in OpKind:
+            if op in (OpKind.NUM, OpKind.STR, OpKind.CONCAT):
+                continue
+            found, literal = symbol_to_op(op.value)
+            assert found == op
+            assert literal is None
+
+    def test_concat_arities(self):
+        for n in range(2, CONCAT_MAX_INPUTS + 1):
+            found, _ = symbol_to_op(f"concat{n}")
+            assert found == OpKind.CONCAT
+
+    def test_integer_literal(self):
+        op, value = symbol_to_op("42")
+        assert op == OpKind.NUM and value == 42
+
+    def test_string_literal(self):
+        op, value = symbol_to_op("x@8 64")
+        assert op == OpKind.STR and value == "x@8 64"
+
+
+class TestEnums:
+    def test_activation_values_match_taso_encoding(self):
+        assert int(Activation.NONE) == 0
+        assert int(Activation.RELU) == 1
+        assert int(Activation.SIGMOID) == 2
+        assert int(Activation.TANH) == 3
+
+    def test_padding_values(self):
+        assert int(Padding.SAME) == 0
+        assert int(Padding.VALID) == 1

@@ -1,0 +1,109 @@
+"""Tests for patterns: parsing, variables, canonicalization, instantiation."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import ENode, RecExpr
+from repro.egraph.pattern import Pattern, PatternNode, PatternVar
+
+
+class TestParsing:
+    def test_variable(self):
+        p = Pattern.parse("?x")
+        assert isinstance(p.root, PatternVar)
+        assert p.root.name == "x"
+
+    def test_operator_node(self):
+        p = Pattern.parse("(ewadd ?x ?y)")
+        assert isinstance(p.root, PatternNode)
+        assert p.root.op == "ewadd"
+        assert len(p.root.children) == 2
+
+    def test_nested(self):
+        p = Pattern.parse("(relu (matmul 0 ?a ?b))")
+        assert p.ops() == ["relu", "matmul", "0"]
+
+    def test_variable_as_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern.parse("(?f ?x)")
+
+    def test_str_roundtrip(self):
+        text = "(ewadd ?x (ewmul ?y ?z))"
+        assert str(Pattern.parse(text)) == text
+
+
+class TestVariables:
+    def test_order_of_first_appearance(self):
+        p = Pattern.parse("(f ?b (g ?a ?b))")
+        assert p.variables() == ["b", "a"]
+
+    def test_ground_pattern(self):
+        p = Pattern.parse("(f a b)")
+        assert p.is_ground()
+        assert p.variables() == []
+
+    def test_size_counts_operators_only(self):
+        p = Pattern.parse("(f ?x (g ?y))")
+        assert p.size() == 2
+
+
+class TestCanonicalize:
+    def test_renames_in_order(self):
+        p = Pattern.parse("(matmul ?act ?input1 ?input2)")
+        canonical, rename = p.canonicalize()
+        assert str(canonical) == "(matmul ?c0 ?c1 ?c2)"
+        assert rename == {"c0": "act", "c1": "input1", "c2": "input2"}
+
+    def test_alpha_equivalent_patterns_share_canonical_form(self):
+        a = Pattern.parse("(matmul ?act ?x ?w1)")
+        b = Pattern.parse("(matmul ?a ?b ?c)")
+        assert str(a.canonicalize()[0]) == str(b.canonicalize()[0])
+
+    def test_repeated_variable_keeps_single_name(self):
+        p = Pattern.parse("(ewadd ?x ?x)")
+        canonical, rename = p.canonicalize()
+        assert str(canonical) == "(ewadd ?c0 ?c0)"
+        assert rename == {"c0": "x"}
+
+
+class TestInstantiate:
+    def test_instantiate_adds_structure(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        p = Pattern.parse("(ewadd ?x ?y)")
+        root = p.instantiate(eg, {"x": a, "y": b})
+        assert eg.represents(root, RecExpr.parse("(ewadd a b)"))
+
+    def test_instantiate_missing_variable_raises(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        p = Pattern.parse("(ewadd ?x ?y)")
+        with pytest.raises(KeyError):
+            p.instantiate(eg, {"x": a})
+
+    def test_substituted_leaves(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        p = Pattern.parse("(f ?x (g ?y))")
+        assert p.substituted_leaves({"x": a, "y": b}) == [a, b]
+
+
+class TestToRecExpr:
+    def test_ground(self):
+        p = Pattern.parse("(f a (g b))")
+        assert str(p.to_recexpr()) == "(f a (g b))"
+
+    def test_with_bindings(self):
+        p = Pattern.parse("(ewadd ?x ?x)")
+        sub = RecExpr.parse("(relu t)")
+        expr = p.to_recexpr({"x": sub})
+        assert str(expr) == "(ewadd (relu t) (relu t))"
+        # shared binding is structurally shared
+        assert len(expr.nodes) == 3
+
+    def test_unbound_variable_raises(self):
+        p = Pattern.parse("(f ?x)")
+        with pytest.raises(ValueError):
+            p.to_recexpr()

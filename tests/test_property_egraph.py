@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the e-graph substrate."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import sexpr as sx
+from repro.egraph.egraph import EGraph
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.egraph.language import ENode, RecExpr
+from repro.egraph.unionfind import UnionFind
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=3)
+
+
+def sexpr_trees(max_depth=4):
+    return st.recursive(
+        atoms,
+        lambda children: st.lists(children, min_size=1, max_size=3).map(
+            lambda kids: ["op" + str(len(kids))] + kids
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def union_scripts(draw):
+    """A number of elements plus a list of (a, b) unions over them."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    n_unions = draw(st.integers(min_value=0, max_value=30))
+    pairs = [
+        (draw(st.integers(min_value=0, max_value=n - 1)), draw(st.integers(min_value=0, max_value=n - 1)))
+        for _ in range(n_unions)
+    ]
+    return n, pairs
+
+
+# --------------------------------------------------------------------- #
+# S-expressions
+# --------------------------------------------------------------------- #
+
+
+class TestSExprProperties:
+    @given(sexpr_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_to_string_parse_roundtrip(self, tree):
+        assert sx.parse(sx.to_string(tree)) == tree
+
+    @given(sexpr_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_recexpr_roundtrip_preserves_text(self, tree):
+        text = sx.to_string(tree)
+        assert str(RecExpr.parse(text)) == text
+
+
+# --------------------------------------------------------------------- #
+# Union-find
+# --------------------------------------------------------------------- #
+
+
+class TestUnionFindProperties:
+    @given(union_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_find_is_idempotent_and_unions_hold(self, script):
+        n, pairs = script
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(n)]
+        for a, b in pairs:
+            uf.union(ids[a], ids[b])
+        for i in ids:
+            assert uf.find(uf.find(i)) == uf.find(i)
+        for a, b in pairs:
+            assert uf.find(ids[a]) == uf.find(ids[b])
+
+    @given(union_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_roots_partition_elements(self, script):
+        n, pairs = script
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(n)]
+        for a, b in pairs:
+            uf.union(ids[a], ids[b])
+        roots = set(uf.roots())
+        assert all(uf.find(i) in roots for i in ids)
+        # The number of roots equals n minus the number of effective merges.
+        effective = n - len(roots)
+        assert 0 <= effective <= len(pairs)
+
+
+# --------------------------------------------------------------------- #
+# E-graph invariants
+# --------------------------------------------------------------------- #
+
+
+class TestEGraphProperties:
+    @given(sexpr_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_added_term_is_represented(self, tree):
+        eg = EGraph()
+        expr = RecExpr.from_sexpr(tree)
+        root = eg.add_expr(expr)
+        assert eg.represents(root, expr)
+
+    @given(sexpr_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_adding_twice_is_idempotent(self, tree):
+        eg = EGraph()
+        expr = RecExpr.from_sexpr(tree)
+        a = eg.add_expr(expr)
+        size = eg.num_enodes
+        b = eg.add_expr(expr)
+        assert a == b
+        assert eg.num_enodes == size
+
+    @given(st.lists(sexpr_trees(), min_size=2, max_size=4), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_congruence_invariant_after_random_unions(self, trees, rnd):
+        eg = EGraph()
+        roots = [eg.add_expr(RecExpr.from_sexpr(t)) for t in trees]
+        # Randomly union some roots, then rebuild.
+        for _ in range(len(roots)):
+            a, b = rnd.choice(roots), rnd.choice(roots)
+            eg.union(a, b)
+        eg.rebuild()
+        # Congruence: identical canonical e-nodes live in exactly one e-class.
+        seen = {}
+        for eclass_id, node in eg.enodes():
+            canonical = eg.canonicalize(node)
+            if canonical in seen:
+                assert eg.find(seen[canonical]) == eg.find(eclass_id)
+            else:
+                seen[canonical] = eclass_id
+
+    @given(sexpr_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_extraction_returns_represented_term_of_no_higher_cost(self, tree):
+        eg = EGraph()
+        expr = RecExpr.from_sexpr(tree)
+        root = eg.add_expr(expr)
+        node_cost = lambda enode, egraph: 1.0
+        greedy = GreedyExtractor(node_cost).extract(eg, root)
+        ilp = ILPExtractor(node_cost).extract(eg, root)
+        assert eg.represents(root, greedy.expr)
+        assert eg.represents(root, ilp.expr)
+        # Without rewrites the only represented term is the original (modulo sharing).
+        assert ilp.cost <= greedy.cost + 1e-9
+        assert greedy.cost <= expr.subterm_size() + 1e-9

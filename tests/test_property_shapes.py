@@ -1,0 +1,130 @@
+"""Property-based tests: shape inference agrees with the numpy kernels, and the
+key merge rewrites are numerically sound for arbitrary sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.executor import execute_graph, outputs_allclose
+from repro.backend.kernels import conv2d, pool2d
+from repro.ir.graph import GraphBuilder
+from repro.ir.ops import Activation, Padding
+from repro.ir.shapes import conv_output_hw, infer_symbol, pool_output_hw
+from repro.ir.tensor import TensorData
+
+dims = st.integers(min_value=1, max_value=6)
+small = st.integers(min_value=1, max_value=4)
+
+
+class TestShapeInferenceMatchesKernels:
+    @given(
+        n=small, c_in=small, h=st.integers(3, 10), w=st.integers(3, 10),
+        c_out=small, k=st.sampled_from([1, 3, 5]), stride=st.sampled_from([1, 2]),
+        padding=st.sampled_from([Padding.SAME, Padding.VALID]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conv_shapes(self, n, c_in, h, w, c_out, k, stride, padding):
+        if padding == Padding.VALID and (k > h or k > w):
+            return
+        x = np.zeros((n, c_in, h, w))
+        wt = np.zeros((c_out, c_in, k, k))
+        out = conv2d(x, wt, (stride, stride), padding, Activation.NONE)
+        expected_hw = conv_output_hw(h, w, k, k, stride, stride, padding)
+        assert out.shape == (n, c_out) + expected_hw
+
+    @given(
+        n=small, c=small, h=st.integers(2, 10), w=st.integers(2, 10),
+        k=st.sampled_from([2, 3]), stride=st.sampled_from([1, 2]),
+        padding=st.sampled_from([Padding.SAME, Padding.VALID]),
+        mode=st.sampled_from(["max", "avg"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pool_shapes(self, n, c, h, w, k, stride, padding, mode):
+        if padding == Padding.VALID and (k > h or k > w):
+            return
+        x = np.zeros((n, c, h, w))
+        out = pool2d(x, (k, k), (stride, stride), padding, Activation.NONE, mode)
+        assert out.shape == (n, c) + pool_output_hw(h, w, k, k, stride, stride, padding)
+
+    @given(m=dims, k=dims, n1=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_inference_matches_numpy(self, m, k, n1):
+        inferred = infer_symbol(
+            "matmul", [TensorData.integer(0), TensorData.tensor((m, k)), TensorData.tensor((k, n1))]
+        )
+        assert inferred.shape == (np.zeros((m, k)) @ np.zeros((k, n1))).shape
+
+
+class TestMergeRewritesAreSoundForArbitrarySizes:
+    @given(m=dims, k=dims, n1=dims, n2=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_merge_shared_lhs(self, m, k, n1, n2):
+        b = GraphBuilder("orig")
+        x = b.input("x", (m, k))
+        w1 = b.weight("w1", (k, n1))
+        w2 = b.weight("w2", (k, n2))
+        g1 = b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
+
+        b = GraphBuilder("merged")
+        x = b.input("x", (m, k))
+        w1 = b.weight("w1", (k, n1))
+        w2 = b.weight("w2", (k, n2))
+        s0, s1 = b.split(1, b.matmul(x, b.concat(1, w1, w2)))
+        g2 = b.finish(outputs=[s0, s1])
+        assert outputs_allclose(execute_graph(g1), execute_graph(g2))
+
+    @given(m=dims, k1=dims, k2=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_fig11_merge(self, m, k1, k2, n):
+        b = GraphBuilder("orig")
+        x = b.input("x", (m, k1))
+        y = b.input("y", (m, k2))
+        w1 = b.weight("w1", (k1, n))
+        w2 = b.weight("w2", (k2, n))
+        g1 = b.finish(outputs=[b.ewadd(b.matmul(x, w1), b.matmul(y, w2))])
+
+        b = GraphBuilder("merged")
+        x = b.input("x", (m, k1))
+        y = b.input("y", (m, k2))
+        w1 = b.weight("w1", (k1, n))
+        w2 = b.weight("w2", (k2, n))
+        g2 = b.finish(outputs=[b.matmul(b.concat(1, x, y), b.concat(0, w1, w2))])
+        assert outputs_allclose(execute_graph(g1), execute_graph(g2))
+
+    @given(
+        c_in=small, h=st.integers(4, 8), c1=small, c2=small,
+        act=st.sampled_from([Activation.NONE, Activation.RELU, Activation.TANH]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_conv_merge_shared_input(self, c_in, h, c1, c2, act):
+        b = GraphBuilder("orig")
+        x = b.input("x", (1, c_in, h, h))
+        w1 = b.weight("w1", (c1, c_in, 3, 3))
+        w2 = b.weight("w2", (c2, c_in, 3, 3))
+        g1 = b.finish(outputs=[b.conv(x, w1, activation=act), b.conv(x, w2, activation=act)])
+
+        b = GraphBuilder("merged")
+        x = b.input("x", (1, c_in, h, h))
+        w1 = b.weight("w1", (c1, c_in, 3, 3))
+        w2 = b.weight("w2", (c2, c_in, 3, 3))
+        s0, s1 = b.split(1, b.conv(x, b.concat(0, w1, w2), activation=act))
+        g2 = b.finish(outputs=[s0, s1])
+        assert outputs_allclose(execute_graph(g1), execute_graph(g2))
+
+    @given(c_in=small, h=st.integers(4, 8), c1=small, c2=small)
+    @settings(max_examples=20, deadline=None)
+    def test_enlarge_merge(self, c_in, h, c1, c2):
+        b = GraphBuilder("orig")
+        x = b.input("x", (1, c_in, h, h))
+        w1 = b.weight("w1", (c1, c_in, 1, 1))
+        w2 = b.weight("w2", (c2, c_in, 3, 3))
+        g1 = b.finish(outputs=[b.conv(x, w1), b.conv(x, w2)])
+
+        b = GraphBuilder("merged")
+        x = b.input("x", (1, c_in, h, h))
+        w1 = b.weight("w1", (c1, c_in, 1, 1))
+        w2 = b.weight("w2", (c2, c_in, 3, 3))
+        merged_w = b.concat(0, b.enlarge(w1, w2), w2)
+        s0, s1 = b.split(1, b.conv(x, merged_w))
+        g2 = b.finish(outputs=[s0, s1])
+        assert outputs_allclose(execute_graph(g1), execute_graph(g2))

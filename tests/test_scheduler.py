@@ -1,0 +1,77 @@
+"""Tests for the optional backoff rule scheduler in the exploration runner."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.rewrite import Rewrite
+from repro.egraph.runner import Runner, RunnerLimits, StopReason
+from repro.models import build_model
+from repro.core import TensatConfig, TensatOptimizer
+from repro.costs import AnalyticCostModel
+
+
+def explosive_rules():
+    """One harmless rule plus one whose match count grows every iteration."""
+    return [
+        Rewrite.parse("rename", "(h ?x)", "(h2 ?x)"),
+        Rewrite.parse("grow", "(f ?x)", "(f (g ?x))"),
+    ]
+
+
+class TestBackoffScheduler:
+    def test_invalid_scheduler_rejected(self):
+        eg = EGraph()
+        eg.add_term("(f a)")
+        with pytest.raises(ValueError):
+            Runner(eg, limits=RunnerLimits(scheduler="adaptive"))
+
+    def test_backoff_bans_explosive_rule(self):
+        eg = EGraph()
+        eg.add_term("(noop (f a) (h b))")
+        limits = RunnerLimits(iter_limit=6, scheduler="backoff", match_limit=2, ban_length=2)
+        runner = Runner(eg, rewrites=explosive_rules(), limits=limits)
+        report = runner.run()
+        assert any(it.n_rules_banned > 0 for it in report.iterations)
+
+    def test_backoff_produces_smaller_egraph_than_simple(self):
+        def run(scheduler):
+            eg = EGraph()
+            eg.add_term("(f a)")
+            limits = RunnerLimits(
+                iter_limit=8, node_limit=10_000, scheduler=scheduler, match_limit=2, ban_length=8
+            )
+            Runner(eg, rewrites=[Rewrite.parse("grow", "(f ?x)", "(f (g ?x))")], limits=limits).run()
+            return eg.num_enodes
+
+        assert run("backoff") <= run("simple")
+
+    def test_banned_iteration_is_not_reported_as_saturation(self):
+        eg = EGraph()
+        eg.add_term("(f a)")
+        limits = RunnerLimits(iter_limit=4, scheduler="backoff", match_limit=0, ban_length=10)
+        report = Runner(eg, rewrites=[Rewrite.parse("grow", "(f ?x)", "(f (g ?x))")], limits=limits).run()
+        # The only rule is banned immediately and stays banned; the runner must
+        # not claim saturation.
+        assert report.stop_reason == StopReason.ITERATION_LIMIT
+
+    def test_simple_scheduler_never_bans(self):
+        eg = EGraph()
+        eg.add_term("(f a)")
+        limits = RunnerLimits(iter_limit=3, scheduler="simple", match_limit=0)
+        report = Runner(eg, rewrites=[Rewrite.parse("grow", "(f ?x)", "(f (g ?x))")], limits=limits).run()
+        assert all(it.n_rules_banned == 0 for it in report.iterations)
+
+
+class TestSchedulerEndToEnd:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TensatConfig(scheduler="adaptive")
+
+    def test_backoff_config_optimizes_model(self):
+        cm = AnalyticCostModel()
+        graph = build_model("nasrnn", "tiny")
+        config = TensatConfig.fast().with_overrides(
+            scheduler="backoff", scheduler_match_limit=100, scheduler_ban_length=3
+        )
+        result = TensatOptimizer(cm, config=config).optimize(graph)
+        assert result.optimized_cost <= result.original_cost + 1e-12

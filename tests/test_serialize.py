@@ -1,0 +1,87 @@
+"""Tests for graph serialization (S-expression text and JSON)."""
+
+import pytest
+
+from repro.backend import execute_graph, outputs_allclose
+from repro.ir.graph import GraphBuilder
+from repro.ir.ops import Activation, Padding
+from repro.ir.serialize import (
+    graph_from_json,
+    graph_from_sexpr_text,
+    graph_to_json,
+    graph_to_sexpr_text,
+    load_graph,
+    save_graph,
+)
+from repro.ir.validate import validate_graph
+
+
+def sample_graph():
+    b = GraphBuilder("sample")
+    x = b.input("x", (1, 8, 10, 10))
+    w1 = b.weight("w1", (16, 8, 3, 3))
+    w2 = b.weight("w2", (16, 8, 1, 1))
+    c1 = b.conv(x, w1, activation=Activation.RELU)
+    c2 = b.conv(x, w2, activation=Activation.RELU)
+    cat = b.concat(1, c1, c2)
+    p = b.poolmax(cat, (2, 2), (2, 2), Padding.VALID)
+    return b.finish(outputs=[p])
+
+
+class TestSExprSerialization:
+    def test_roundtrip_preserves_semantics(self):
+        g = sample_graph()
+        text = graph_to_sexpr_text(g)
+        g2 = graph_from_sexpr_text(text, name="sample")
+        validate_graph(g2)
+        assert outputs_allclose(execute_graph(g), execute_graph(g2))
+
+    def test_roundtrip_preserves_structure(self):
+        g = sample_graph()
+        g2 = graph_from_sexpr_text(graph_to_sexpr_text(g))
+        assert g2.op_histogram() == g.op_histogram()
+
+    def test_text_is_stable(self):
+        g = sample_graph()
+        assert graph_to_sexpr_text(g) == graph_to_sexpr_text(sample_graph())
+
+
+class TestJsonSerialization:
+    def test_roundtrip_preserves_semantics(self):
+        g = sample_graph()
+        g2 = graph_from_json(graph_to_json(g))
+        validate_graph(g2)
+        assert outputs_allclose(execute_graph(g), execute_graph(g2))
+
+    def test_outputs_preserved(self):
+        b = GraphBuilder("two-out")
+        x = b.input("x", (4, 8))
+        w1 = b.weight("w1", (8, 3))
+        w2 = b.weight("w2", (8, 5))
+        g = b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
+        g2 = graph_from_json(graph_to_json(g))
+        assert [g2.nodes[o].shape for o in g2.outputs] == [(4, 3), (4, 5)]
+
+    def test_name_preserved(self):
+        g2 = graph_from_json(graph_to_json(sample_graph()))
+        assert g2.name == "sample"
+
+
+class TestFileIO:
+    def test_save_and_load_json(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "graph.json")
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert outputs_allclose(execute_graph(g), execute_graph(g2))
+
+    def test_save_and_load_sexpr(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "graph.sexpr")
+        save_graph(g, path)
+        g2 = load_graph(path, name="sample")
+        assert outputs_allclose(execute_graph(g), execute_graph(g2))
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_graph(sample_graph(), str(tmp_path / "graph.bin"), fmt="protobuf")

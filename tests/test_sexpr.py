@@ -1,0 +1,91 @@
+"""Tests for the S-expression reader/printer."""
+
+import pytest
+
+from repro import sexpr as sx
+
+
+class TestParse:
+    def test_atom(self):
+        assert sx.parse("matmul") == "matmul"
+
+    def test_integer_atom(self):
+        assert sx.parse("42") == "42"
+
+    def test_simple_list(self):
+        assert sx.parse("(ewadd a b)") == ["ewadd", "a", "b"]
+
+    def test_nested(self):
+        assert sx.parse("(relu (matmul 0 x w))") == ["relu", ["matmul", "0", "x", "w"]]
+
+    def test_quoted_string_atom(self):
+        assert sx.parse('(input "x@8 64")') == ["input", "x@8 64"]
+
+    def test_variables_preserved(self):
+        assert sx.parse("(ewadd ?x ?y)") == ["ewadd", "?x", "?y"]
+
+    def test_whitespace_insensitive(self):
+        assert sx.parse("( ewadd   a\n  b )") == ["ewadd", "a", "b"]
+
+    def test_comments_ignored(self):
+        assert sx.parse("(ewadd a b) ; trailing comment") == ["ewadd", "a", "b"]
+
+    def test_empty_input_raises(self):
+        with pytest.raises(sx.SExprError):
+            sx.parse("")
+
+    def test_unbalanced_open_raises(self):
+        with pytest.raises(sx.SExprError):
+            sx.parse("(ewadd a b")
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(sx.SExprError):
+            sx.parse(")")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(sx.SExprError):
+            sx.parse("(a b) extra")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(sx.SExprError):
+            sx.parse('(input "x@8')
+
+
+class TestParseMany:
+    def test_multiple_expressions(self):
+        exprs = sx.parse_many("(a b) (c d) e")
+        assert exprs == [["a", "b"], ["c", "d"], "e"]
+
+    def test_empty(self):
+        assert sx.parse_many("   ") == []
+
+
+class TestToString:
+    def test_roundtrip_simple(self):
+        text = "(relu (matmul 0 x w))"
+        assert sx.to_string(sx.parse(text)) == text
+
+    def test_roundtrip_quoted(self):
+        text = '(input "x@8 64")'
+        assert sx.to_string(sx.parse(text)) == text
+
+    def test_atom_with_space_gets_quoted(self):
+        assert sx.to_string("a b") == '"a b"'
+
+    def test_roundtrip_many(self):
+        for text in ["a", "(f a)", "(f (g ?x) 1)", '(weight "w@3 3")']:
+            assert sx.to_string(sx.parse(text)) == text
+
+
+class TestIsVariable:
+    def test_variable(self):
+        assert sx.is_variable("?x")
+
+    def test_not_variable(self):
+        assert not sx.is_variable("x")
+
+    def test_bare_question_mark(self):
+        assert not sx.is_variable("?")
+
+    def test_list_is_not_variable(self):
+        assert not sx.is_variable(["?x"])

@@ -1,0 +1,274 @@
+"""Tests for shape inference of every Table-2 operator."""
+
+import pytest
+
+from repro.ir.ops import Activation, Padding
+from repro.ir.shapes import conv_output_hw, infer_symbol, matmul_output_shape, same_padding_amount
+from repro.ir.tensor import DataKind, ShapeError, TensorData
+
+
+def T(*shape, **kw):
+    return TensorData.tensor(shape, **kw)
+
+
+def I(v):
+    return TensorData.integer(v)
+
+
+def S(v):
+    return TensorData.string(v)
+
+
+class TestGeometryHelpers:
+    def test_conv_same_padding_keeps_size_at_stride_one(self):
+        assert conv_output_hw(14, 14, 3, 3, 1, 1, Padding.SAME) == (14, 14)
+
+    def test_conv_same_padding_with_stride(self):
+        assert conv_output_hw(13, 13, 3, 3, 2, 2, Padding.SAME) == (7, 7)
+
+    def test_conv_valid_padding(self):
+        assert conv_output_hw(14, 14, 3, 3, 1, 1, Padding.VALID) == (12, 12)
+
+    def test_conv_empty_output_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(2, 2, 5, 5, 1, 1, Padding.VALID)
+
+    def test_conv_zero_stride_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(8, 8, 3, 3, 0, 1, Padding.SAME)
+
+    def test_same_padding_amount(self):
+        before, after = same_padding_amount(14, 3, 1)
+        assert (before, after) == (1, 1)
+
+    def test_matmul_output_shapes(self):
+        assert matmul_output_shape((4, 8), (8, 16)) == (4, 16)
+        assert matmul_output_shape((2, 4, 8), (8, 16)) == (2, 4, 16)
+        assert matmul_output_shape((2, 4, 8), (2, 8, 16)) == (2, 4, 16)
+
+    def test_matmul_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            matmul_output_shape((4, 8), (9, 16))
+
+
+class TestLiteralsAndIdentifiers:
+    def test_integer_literal(self):
+        out = infer_symbol("3", [])
+        assert out.kind == DataKind.INT and out.value == 3
+
+    def test_string_literal(self):
+        out = infer_symbol("0 2 1 3", [])
+        assert out.kind == DataKind.STRING
+
+    def test_input_parses_identifier(self):
+        out = infer_symbol("input", [S("x@8 64")])
+        assert out.shape == (8, 64)
+        assert not out.from_weights
+
+    def test_weight_sets_from_weights(self):
+        out = infer_symbol("weight", [S("w@64 32")])
+        assert out.shape == (64, 32)
+        assert out.from_weights
+
+
+class TestElementwiseAndActivations:
+    def test_ewadd_same_shapes(self):
+        assert infer_symbol("ewadd", [T(4, 8), T(4, 8)]).shape == (4, 8)
+
+    def test_ewadd_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("ewadd", [T(4, 8), T(4, 9)])
+
+    def test_relu_preserves_shape_and_splits(self):
+        x = T(4, 8).with_split(1, (3, 5))
+        out = infer_symbol("relu", [x])
+        assert out.shape == (4, 8)
+        assert out.split_sizes_for_axis(1) == (3, 5)
+
+    def test_weight_only_ewadd_is_precomputable(self):
+        out = infer_symbol("ewadd", [T(4, 8, from_weights=True), T(4, 8, from_weights=True)])
+        assert out.from_weights
+
+    def test_mixed_ewadd_is_not_precomputable(self):
+        out = infer_symbol("ewadd", [T(4, 8, from_weights=True), T(4, 8)])
+        assert not out.from_weights
+
+
+class TestMatmul:
+    def test_basic(self):
+        out = infer_symbol("matmul", [I(0), T(4, 8), T(8, 16)])
+        assert out.shape == (4, 16)
+
+    def test_propagates_column_split_from_rhs(self):
+        rhs = T(8, 16).with_split(1, (10, 6))
+        out = infer_symbol("matmul", [I(0), T(4, 8), rhs])
+        assert out.split_sizes_for_axis(1) == (10, 6)
+
+    def test_propagates_row_split_from_lhs(self):
+        lhs = T(4, 8).with_split(0, (1, 3))
+        out = infer_symbol("matmul", [I(0), lhs, T(8, 16)])
+        assert out.split_sizes_for_axis(0) == (1, 3)
+
+    def test_bad_activation_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("matmul", [I(9), T(4, 8), T(8, 16)])
+
+    def test_inner_dim_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("matmul", [I(0), T(4, 8), T(9, 16)])
+
+
+class TestConv:
+    def conv_children(self, x, w, stride=(1, 1), padding=Padding.SAME, act=Activation.NONE):
+        return [I(stride[0]), I(stride[1]), I(int(padding)), I(int(act)), x, w]
+
+    def test_basic_same(self):
+        out = infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), T(16, 8, 3, 3)))
+        assert out.shape == (1, 16, 14, 14)
+
+    def test_strided(self):
+        out = infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), T(16, 8, 3, 3), stride=(2, 2)))
+        assert out.shape == (1, 16, 7, 7)
+
+    def test_grouped(self):
+        out = infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), T(16, 4, 3, 3)))
+        assert out.shape == (1, 16, 14, 14)
+
+    def test_depthwise(self):
+        out = infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), T(8, 1, 3, 3)))
+        assert out.shape == (1, 8, 14, 14)
+
+    def test_bad_group_divisibility_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), T(16, 3, 3, 3)))
+
+    def test_output_channel_split_mirrors_weight_concat(self):
+        w = T(24, 8, 3, 3).with_split(0, (16, 8))
+        out = infer_symbol("conv", self.conv_children(T(1, 8, 14, 14), w))
+        assert out.split_sizes_for_axis(1) == (16, 8)
+
+    def test_valid_padding_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol(
+                "conv",
+                self.conv_children(T(1, 8, 2, 2), T(16, 8, 5, 5), padding=Padding.VALID),
+            )
+
+
+class TestPooling:
+    def pool_children(self, x, kernel=(2, 2), stride=(2, 2), padding=Padding.VALID, act=Activation.NONE):
+        return [x, I(kernel[0]), I(kernel[1]), I(stride[0]), I(stride[1]), I(int(padding)), I(int(act))]
+
+    def test_poolmax(self):
+        out = infer_symbol("poolmax", self.pool_children(T(1, 8, 14, 14)))
+        assert out.shape == (1, 8, 7, 7)
+
+    def test_poolavg_same(self):
+        out = infer_symbol("poolavg", self.pool_children(T(1, 8, 14, 14), (3, 3), (1, 1), Padding.SAME))
+        assert out.shape == (1, 8, 14, 14)
+
+    def test_pool_preserves_channel_split(self):
+        x = T(1, 24, 14, 14).with_split(1, (16, 8))
+        out = infer_symbol("poolmax", self.pool_children(x, (3, 3), (1, 1), Padding.SAME))
+        assert out.split_sizes_for_axis(1) == (16, 8)
+
+
+class TestConcatSplit:
+    def test_concat_shapes_and_split_record(self):
+        out = infer_symbol("concat2", [I(1), T(4, 8), T(4, 6)])
+        assert out.shape == (4, 14)
+        assert out.split_sizes_for_axis(1) == (8, 6)
+
+    def test_concat3(self):
+        out = infer_symbol("concat3", [I(0), T(2, 4), T(3, 4), T(5, 4)])
+        assert out.shape == (10, 4)
+        assert out.split_sizes_for_axis(0) == (2, 3, 5)
+
+    def test_concat_mismatched_other_axis_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("concat2", [I(1), T(4, 8), T(5, 6)])
+
+    def test_concat_axis_out_of_range_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("concat2", [I(3), T(4, 8), T(4, 6)])
+
+    def test_split_uses_recorded_concat_position(self):
+        x = infer_symbol("concat2", [I(1), T(4, 8), T(4, 6)])
+        tup = infer_symbol("split", [I(1), x])
+        assert tup.kind == DataKind.TUPLE
+        assert tup.parts[0].shape == (4, 8)
+        assert tup.parts[1].shape == (4, 6)
+
+    def test_split_without_record_halves_even_dimension(self):
+        tup = infer_symbol("split", [I(1), T(4, 10)])
+        assert tup.parts[0].shape == (4, 5)
+
+    def test_split_without_record_odd_dimension_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("split", [I(1), T(4, 9)])
+
+    def test_split0_split1_project(self):
+        x = infer_symbol("concat2", [I(0), T(3, 4), T(5, 4)])
+        tup = infer_symbol("split", [I(0), x])
+        assert infer_symbol("split0", [tup]).shape == (3, 4)
+        assert infer_symbol("split1", [tup]).shape == (5, 4)
+
+    def test_split0_on_non_tuple_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("split0", [T(4, 4)])
+
+    def test_three_way_concat_remainder_keeps_record(self):
+        x = infer_symbol("concat3", [I(1), T(4, 2), T(4, 3), T(4, 5)])
+        tup = infer_symbol("split", [I(1), x])
+        assert tup.parts[0].shape == (4, 2)
+        # The remainder still knows it is a concat of (3, 5).
+        rest = tup.parts[1]
+        assert rest.shape == (4, 8)
+        assert rest.split_sizes_for_axis(1) == (3, 5)
+
+
+class TestGeometricOps:
+    def test_transpose(self):
+        out = infer_symbol("transpose", [T(4, 8), S("1 0")])
+        assert out.shape == (8, 4)
+
+    def test_transpose_moves_split_record(self):
+        x = T(4, 8).with_split(1, (3, 5))
+        out = infer_symbol("transpose", [x, S("1 0")])
+        assert out.split_sizes_for_axis(0) == (3, 5)
+
+    def test_transpose_bad_permutation_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("transpose", [T(4, 8), S("0 0")])
+
+    def test_reshape(self):
+        out = infer_symbol("reshape", [T(2, 6), S("3 4")])
+        assert out.shape == (3, 4)
+
+    def test_reshape_element_count_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("reshape", [T(2, 6), S("3 5")])
+
+    def test_enlarge(self):
+        out = infer_symbol("enlarge", [T(16, 8, 1, 1), T(24, 8, 3, 3)])
+        assert out.shape == (16, 8, 3, 3)
+
+    def test_enlarge_shrink_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("enlarge", [T(16, 8, 5, 5), T(24, 8, 3, 3)])
+
+    def test_merge_weight(self):
+        out = infer_symbol("merge", [T(16, 4, 3, 3), I(2)])
+        assert out.shape == (16, 8, 3, 3)
+
+    def test_noop(self):
+        out = infer_symbol("noop", [T(4, 8), T(2, 2)])
+        assert out.kind == DataKind.TENSOR
+
+    def test_unknown_arity_raises(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("relu", [T(4, 8), T(4, 8)])
+
+    def test_invalid_operand_propagates(self):
+        with pytest.raises(ShapeError):
+            infer_symbol("relu", [TensorData.invalid("bad")])

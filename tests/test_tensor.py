@@ -1,0 +1,112 @@
+"""Tests for TensorData and tensor identifiers."""
+
+import pytest
+
+from repro.ir.tensor import (
+    DataKind,
+    ShapeError,
+    TensorData,
+    format_identifier,
+    parse_identifier,
+)
+
+
+class TestConstructors:
+    def test_tensor(self):
+        t = TensorData.tensor((2, 3))
+        assert t.kind == DataKind.TENSOR
+        assert t.shape == (2, 3)
+        assert t.is_tensor and t.is_valid
+
+    def test_integer(self):
+        t = TensorData.integer(3)
+        assert t.kind == DataKind.INT
+        assert t.value == 3
+
+    def test_string(self):
+        t = TensorData.string("0 2 1 3")
+        assert t.kind == DataKind.STRING
+        assert t.value == "0 2 1 3"
+
+    def test_tuple(self):
+        t = TensorData.tuple_of((TensorData.tensor((2,)), TensorData.tensor((3,))))
+        assert t.kind == DataKind.TUPLE
+        assert len(t.parts) == 2
+
+    def test_invalid(self):
+        t = TensorData.invalid("bad shapes")
+        assert not t.is_valid
+
+
+class TestQueries:
+    def test_num_elements(self):
+        assert TensorData.tensor((2, 3, 4)).num_elements == 24
+        assert TensorData.tensor(()).num_elements == 1
+
+    def test_rank(self):
+        assert TensorData.tensor((1, 2, 3)).rank == 3
+
+    def test_expect_tensor_raises_on_int(self):
+        with pytest.raises(ShapeError):
+            TensorData.integer(1).expect_tensor()
+
+    def test_expect_int_raises_on_tensor(self):
+        with pytest.raises(ShapeError):
+            TensorData.tensor((2,)).expect_int()
+
+    def test_expect_string(self):
+        assert TensorData.string("x").expect_string() == "x"
+        with pytest.raises(ShapeError):
+            TensorData.integer(1).expect_string()
+
+
+class TestSplitRecords:
+    def test_with_split_records_sizes(self):
+        t = TensorData.tensor((2, 10)).with_split(1, (4, 6))
+        assert t.split_sizes_for_axis(1) == (4, 6)
+        assert t.split_sizes_for_axis(0) is None
+
+    def test_with_split_overwrites_same_axis(self):
+        t = TensorData.tensor((2, 10)).with_split(1, (4, 6)).with_split(1, (2, 8))
+        assert t.split_sizes_for_axis(1) == (2, 8)
+
+    def test_without_splits(self):
+        t = TensorData.tensor((2, 10)).with_split(1, (4, 6)).without_splits()
+        assert t.split_sizes_for_axis(1) is None
+
+    def test_from_weights_preserved_by_with_split(self):
+        t = TensorData.tensor((2, 10), from_weights=True).with_split(1, (5, 5))
+        assert t.from_weights
+
+    def test_with_from_weights(self):
+        t = TensorData.tensor((2, 10)).with_from_weights(True)
+        assert t.from_weights
+
+
+class TestIdentifiers:
+    def test_roundtrip(self):
+        ident = format_identifier("conv1_w", (64, 3, 7, 7))
+        name, shape = parse_identifier(ident)
+        assert name == "conv1_w"
+        assert shape == (64, 3, 7, 7)
+
+    def test_parse_requires_at(self):
+        with pytest.raises(ShapeError):
+            parse_identifier("no_shape_here")
+
+    def test_parse_rejects_bad_dims(self):
+        with pytest.raises(ShapeError):
+            parse_identifier("x@1 two 3")
+
+    def test_parse_rejects_nonpositive_dims(self):
+        with pytest.raises(ShapeError):
+            parse_identifier("x@4 0")
+
+    def test_parse_rejects_empty_name(self):
+        with pytest.raises(ShapeError):
+            parse_identifier("@4 4")
+
+    def test_str_forms(self):
+        assert str(TensorData.tensor((2, 3))) == "T[2, 3]"
+        assert "int" in str(TensorData.integer(5))
+        assert "invalid" in str(TensorData.invalid("x"))

@@ -1,0 +1,78 @@
+"""Tests for the union-find."""
+
+from repro.egraph.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_make_set_returns_sequential_ids(self):
+        uf = UnionFind()
+        assert [uf.make_set() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_fresh_sets_are_their_own_roots(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(5)]
+        assert all(uf.find(i) == i for i in ids)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        uf.union(a, b)
+        assert uf.find(a) == uf.find(b)
+
+    def test_union_is_transitive(self):
+        uf = UnionFind()
+        a, b, c = uf.make_set(), uf.make_set(), uf.make_set()
+        uf.union(a, b)
+        uf.union(b, c)
+        assert uf.find(a) == uf.find(c)
+
+    def test_union_returns_new_root(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        root = uf.union(a, b)
+        assert root in (a, b)
+        assert uf.find(a) == root
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        first = uf.union(a, b)
+        second = uf.union(a, b)
+        assert first == second
+
+    def test_disjoint_sets_stay_separate(self):
+        uf = UnionFind()
+        a, b, c, d = (uf.make_set() for _ in range(4))
+        uf.union(a, b)
+        uf.union(c, d)
+        assert uf.find(a) != uf.find(c)
+
+    def test_in_same_set(self):
+        uf = UnionFind()
+        a, b, c = (uf.make_set() for _ in range(3))
+        uf.union(a, b)
+        assert uf.in_same_set(a, b)
+        assert not uf.in_same_set(a, c)
+
+    def test_roots(self):
+        uf = UnionFind()
+        a, b, c = (uf.make_set() for _ in range(3))
+        uf.union(a, b)
+        roots = uf.roots()
+        assert len(roots) == 2
+        assert uf.find(c) in roots
+
+    def test_len(self):
+        uf = UnionFind()
+        for _ in range(7):
+            uf.make_set()
+        assert len(uf) == 7
+
+    def test_chain_union_all_equivalent(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(50)]
+        for i in range(49):
+            uf.union(ids[i], ids[i + 1])
+        root = uf.find(ids[0])
+        assert all(uf.find(i) == root for i in ids)
+        assert len(uf.roots()) == 1

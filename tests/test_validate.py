@@ -1,0 +1,107 @@
+"""Tests for graph validation."""
+
+import pytest
+
+from repro.ir.graph import GraphBuilder, Node, TensorGraph
+from repro.ir.ops import OpKind
+from repro.ir.tensor import TensorData
+from repro.ir.validate import ValidationError, check_same_interface, reachable_from_outputs, validate_graph
+
+
+def good_graph():
+    b = GraphBuilder("good")
+    x = b.input("x", (4, 8))
+    w = b.weight("w", (8, 16))
+    return b.finish(outputs=[b.relu(b.matmul(x, w))])
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self):
+        validate_graph(good_graph())
+
+    def test_corrupted_shape_detected(self):
+        g = good_graph()
+        bad_nodes = list(g.nodes)
+        last = bad_nodes[-1]
+        bad_nodes[-1] = Node(
+            id=last.id, op=last.op, inputs=last.inputs, value=last.value, data=TensorData.tensor((9, 9))
+        )
+        bad = TensorGraph(bad_nodes, g.outputs, name="bad")
+        with pytest.raises(ValidationError):
+            validate_graph(bad)
+
+    def test_topology_enforced_at_construction(self):
+        node = Node(id=0, op=OpKind.RELU, inputs=(1,), data=TensorData.tensor((2,)))
+        with pytest.raises(ValueError):
+            TensorGraph([node], [0])
+
+    def test_node_id_mismatch_rejected(self):
+        node = Node(id=5, op=OpKind.NUM, inputs=(), value=1, data=TensorData.integer(1))
+        with pytest.raises(ValueError):
+            TensorGraph([node], [0])
+
+    def test_output_out_of_range_rejected(self):
+        node = Node(id=0, op=OpKind.NUM, inputs=(), value=1, data=TensorData.integer(1))
+        with pytest.raises(ValueError):
+            TensorGraph([node], [3])
+
+
+class TestReachability:
+    def test_reachable_from_outputs(self):
+        b = GraphBuilder()
+        x = b.input("x", (4, 8))
+        w = b.weight("w", (8, 16))
+        live = b.matmul(x, w)
+        dead = b.relu(live)
+        g = b.finish(outputs=[live])
+        reachable = reachable_from_outputs(g)
+        assert live in reachable
+        assert dead not in reachable
+
+
+class TestInterfaceCheck:
+    def test_same_graph_passes(self):
+        g = good_graph()
+        check_same_interface(g, g)
+
+    def test_unknown_tensor_rejected(self):
+        original = good_graph()
+        b = GraphBuilder("other")
+        x = b.input("other_input", (4, 8))
+        w = b.weight("w", (8, 16))
+        optimized = b.finish(outputs=[b.matmul(x, w)])
+        with pytest.raises(ValidationError):
+            check_same_interface(original, optimized)
+
+    def test_shape_change_rejected(self):
+        original = good_graph()
+        b = GraphBuilder("other")
+        x = b.input("x", (4, 9))
+        w = b.weight("w", (9, 16))
+        optimized = b.finish(outputs=[b.matmul(x, w)])
+        with pytest.raises(ValidationError):
+            check_same_interface(original, optimized)
+
+    def test_output_arity_change_rejected(self):
+        original = good_graph()
+        b = GraphBuilder("other")
+        x = b.input("x", (4, 8))
+        w = b.weight("w", (8, 16))
+        m = b.matmul(x, w)
+        optimized = b.finish(outputs=[m, b.relu(m)])
+        with pytest.raises(ValidationError):
+            check_same_interface(original, optimized)
+
+    def test_subset_of_weights_is_allowed(self):
+        b = GraphBuilder("orig")
+        x = b.input("x", (4, 8))
+        w1 = b.weight("w1", (8, 16))
+        w2 = b.weight("w2", (8, 16))
+        original = b.finish(outputs=[b.ewadd(b.matmul(x, w1), b.matmul(x, w2))])
+
+        b = GraphBuilder("opt")
+        x = b.input("x", (4, 8))
+        w1 = b.weight("w1", (8, 16))
+        optimized = b.finish(outputs=[b.matmul(x, w1)])
+        # Not semantically equal, but interface-wise this is fine (fewer weights used).
+        check_same_interface(original, optimized)
