@@ -1,0 +1,160 @@
+"""E-matching benchmark: compiled VM + delta search vs. the naive matcher.
+
+The exploration phase dominates optimization time, and within it the search
+for rule matches dominates (paper Section 6).  This benchmark runs the
+exploration loop on the seed models twice -- once with the interpretive
+backtracking matcher, once with the compiled e-matching VM seeded from
+iteration deltas -- and reports per-iteration search time.  Both matchers
+produce identical match lists, so the two runs follow the exact same
+trajectory (same e-nodes, same iterations, same stop reason); the table below
+asserts this before reporting any timing.
+
+A second section times one-shot full-graph searches of every rule's source
+pattern over the final (saturated) e-graph, isolating the VM's win on the
+search itself from the delta seeding.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.common import bench_scale, format_table, write_result
+from repro.core.config import TensatConfig
+from repro.core.optimizer import TensatOptimizer
+from repro.egraph.ematch import naive_search_pattern, search_pattern
+from repro.models import build_model
+from repro.rules import default_ruleset
+
+#: Models named by the acceptance criterion; nasrnn is the e-graph-heavy one.
+BENCH_MODELS = ["nasrnn", "resnext"]
+
+#: Exploration-only configuration: greedy extraction keeps the run dominated
+#: by the phase this benchmark measures.
+BENCH_CONFIG = dict(
+    node_limit=6_000,
+    iter_limit=10,
+    k_multi=1,
+    extraction="greedy",
+)
+
+
+def _explore(model: str, scale: str, matcher: str):
+    graph = build_model(model, scale)
+    config = TensatConfig(matcher=matcher, **BENCH_CONFIG)
+    optimizer = TensatOptimizer(config=config)
+    start = time.perf_counter()
+    result = optimizer.optimize(graph)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def _trajectory(result) -> tuple:
+    report = result.runner_report
+    return (
+        result.stats.num_enodes,
+        result.stats.stop_reason,
+        report.num_iterations,
+        tuple(it.n_matches for it in report.iterations),
+        tuple(it.n_applied for it in report.iterations),
+    )
+
+
+def _one_shot_search_seconds(egraph, use_vm: bool, repeats: int = 3) -> float:
+    """Full-graph search of every rule's source pattern, best of ``repeats``."""
+    patterns = [rw.lhs for rw in default_ruleset().rewrites]
+    search = search_pattern if use_vm else naive_search_pattern
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for pattern in patterns:
+            search(egraph, pattern)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _generate_bench_ematch():
+    scale = "small" if bench_scale() == "tiny" else bench_scale()
+    rows: List[list] = []
+    data: Dict[str, dict] = {}
+    for model in BENCH_MODELS:
+        naive_result, naive_total = _explore(model, scale, "naive")
+        vm_result, vm_total = _explore(model, scale, "vm")
+
+        # Headline criterion: the compiled path must walk the identical
+        # trajectory -- same match sets, same growth, same stop reason.
+        assert _trajectory(naive_result) == _trajectory(vm_result), model
+
+        naive_search = naive_result.runner_report.search_seconds
+        vm_search = vm_result.runner_report.search_seconds
+        n_iters = vm_result.runner_report.num_iterations
+        delta_iters = sum(1 for it in vm_result.runner_report.iterations if not it.full_search)
+
+        # One-shot comparison on the saturated e-graph.
+        optimizer = TensatOptimizer(config=TensatConfig(matcher="vm", **BENCH_CONFIG))
+        egraph, _root, _filter, _report = optimizer.explore(build_model(model, scale))
+        naive_shot = _one_shot_search_seconds(egraph, use_vm=False)
+        vm_shot = _one_shot_search_seconds(egraph, use_vm=True)
+
+        rows.append(
+            [
+                model,
+                n_iters,
+                delta_iters,
+                f"{naive_search * 1000:.1f}",
+                f"{vm_search * 1000:.1f}",
+                f"{naive_search / max(vm_search, 1e-9):.2f}x",
+                f"{naive_shot * 1000:.1f}",
+                f"{vm_shot * 1000:.1f}",
+                f"{naive_shot / max(vm_shot, 1e-9):.2f}x",
+            ]
+        )
+        data[model] = {
+            "scale": scale,
+            "iterations": n_iters,
+            "delta_iterations": delta_iters,
+            "naive_search_seconds": naive_search,
+            "vm_search_seconds": vm_search,
+            "exploration_search_speedup": naive_search / max(vm_search, 1e-9),
+            "naive_one_shot_seconds": naive_shot,
+            "vm_one_shot_seconds": vm_shot,
+            "one_shot_speedup": naive_shot / max(vm_shot, 1e-9),
+            "per_iteration_search_ms": {
+                "naive": [it.search_seconds * 1000 for it in naive_result.runner_report.iterations],
+                "vm": [it.search_seconds * 1000 for it in vm_result.runner_report.iterations],
+            },
+            "naive_total_seconds": naive_total,
+            "vm_total_seconds": vm_total,
+        }
+
+    table = format_table(
+        [
+            "model",
+            "iters",
+            "delta iters",
+            "naive search (ms)",
+            "VM search (ms)",
+            "speedup",
+            "naive 1-shot (ms)",
+            "VM 1-shot (ms)",
+            "1-shot speedup",
+        ],
+        rows,
+    )
+    write_result("bench_ematch", table, data)
+    return data
+
+
+@pytest.mark.benchmark(group="ematch")
+def test_bench_ematch(benchmark):
+    data = benchmark.pedantic(_generate_bench_ematch, rounds=1, iterations=1)
+    for model in BENCH_MODELS:
+        # The compiled VM + delta search must reduce exploration search time.
+        assert data[model]["exploration_search_speedup"] > 1.0
+        assert data[model]["one_shot_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    _generate_bench_ematch()

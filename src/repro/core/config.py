@@ -41,6 +41,13 @@ class TensatConfig:
     scheduler_match_limit: int = 1_000
     #: Backoff scheduler base ban length in iterations.
     scheduler_ban_length: int = 5
+    #: E-matcher implementation: "vm" (compiled virtual machine) or "naive"
+    #: (the interpretive reference matcher).  Both yield identical match
+    #: lists; "naive" exists for regression testing and benchmarking.
+    matcher: str = "vm"
+    #: Seed each exploration iteration's search from the e-classes dirtied by
+    #: the previous iteration ("vm" only); iteration 0 is always a full search.
+    delta_matching: bool = True
 
     # ------------------------------------------------------------------ #
     # Cycle handling
@@ -80,6 +87,8 @@ class TensatConfig:
             raise ValueError(f"extraction must be 'ilp' or 'greedy', got {self.extraction!r}")
         if self.scheduler not in ("simple", "backoff"):
             raise ValueError(f"scheduler must be 'simple' or 'backoff', got {self.scheduler!r}")
+        if self.matcher not in ("vm", "naive"):
+            raise ValueError(f"matcher must be 'vm' or 'naive', got {self.matcher!r}")
         if self.cycle_filter not in ("efficient", "vanilla", "none"):
             raise ValueError(
                 f"cycle_filter must be 'efficient', 'vanilla' or 'none', got {self.cycle_filter!r}"

@@ -106,6 +106,8 @@ class TensatOptimizer:
             scheduler=config.scheduler,
             match_limit=config.scheduler_match_limit,
             ban_length=config.scheduler_ban_length,
+            matcher=config.matcher,
+            use_delta=config.delta_matching,
         )
         runner = Runner(
             egraph,
@@ -201,10 +203,6 @@ class TensatOptimizer:
         stats.original_cost = original_cost
         stats.optimized_cost = optimized_cost
         stats.extraction_status = extraction.status
-
-        if isinstance(extraction, ExtractionResult) and config.extraction == "ilp":
-            # Solver details are useful for the Table 5 benchmark.
-            pass
 
         return OptimizationResult(
             original=graph,

@@ -9,6 +9,8 @@ paper builds on top of ``egg`` (Willsey et al., 2020):
   e-class analyses).
 * :mod:`repro.egraph.pattern`      -- patterns with variables, parsed from S-expressions.
 * :mod:`repro.egraph.ematch`       -- e-matching (pattern search over an e-graph).
+* :mod:`repro.egraph.machine`      -- the compiled e-matching virtual machine and
+  incremental (iteration-delta) search; see ``docs/ematching.md``.
 * :mod:`repro.egraph.rewrite`      -- single-pattern rewrite rules.
 * :mod:`repro.egraph.multipattern` -- multi-pattern rewrite rules (paper Algorithm 1).
 * :mod:`repro.egraph.runner`       -- the saturation loop with limits and cycle filtering.
@@ -18,6 +20,7 @@ paper builds on top of ``egg`` (Willsey et al., 2020):
 
 from repro.egraph.egraph import EClass, EGraph
 from repro.egraph.language import ENode, RecExpr
+from repro.egraph.machine import IncrementalMatcher, Program, compile_pattern
 from repro.egraph.pattern import Pattern, PatternNode, PatternVar
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.multipattern import MultiPatternRewrite
@@ -28,6 +31,9 @@ __all__ = [
     "EClass",
     "EGraph",
     "ENode",
+    "IncrementalMatcher",
+    "Program",
+    "compile_pattern",
     "RecExpr",
     "Pattern",
     "PatternNode",

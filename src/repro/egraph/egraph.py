@@ -58,6 +58,12 @@ class EGraph:
         self._node_birth: Dict[ENode, int] = {}
         self._birth_counter = itertools.count()
         self._n_unions = 0
+        # op -> e-class ids (possibly stale; canonicalised lazily on access).
+        # Nodes are never removed from a class, so entries only need find().
+        self._op_classes: Dict[str, Set[int]] = {}
+        # E-classes touched (created or merged into) since the last take_dirty();
+        # the compiled matcher seeds incremental searches from this set.
+        self._dirty: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -126,6 +132,8 @@ class EGraph:
         self._classes[eclass_id] = eclass
         self._memo[canonical] = eclass_id
         self._node_birth[canonical] = next(self._birth_counter)
+        self._op_classes.setdefault(canonical.op, set()).add(eclass_id)
+        self._dirty.add(eclass_id)
         for child in set(canonical.children):
             self._classes[self.find(child)].parents.append((canonical, eclass_id))
 
@@ -168,6 +176,7 @@ class EGraph:
 
         merged, changed = self.analysis.merge(winner.data, loser.data)
         winner.data = merged
+        self._dirty.add(new_root)
         self._pending.append(new_root)
         if changed:
             self._analysis_pending.append(new_root)
@@ -261,9 +270,54 @@ class EGraph:
     def nodes_by_op(self) -> Dict[str, List[Tuple[int, ENode]]]:
         """Group canonical e-nodes by operator (used by e-matching)."""
         table: Dict[str, List[Tuple[int, ENode]]] = {}
-        for eclass_id, node in self.enodes():
-            table.setdefault(node.op, []).append((eclass_id, node))
+        for op in self._op_classes:
+            entries = [
+                (eclass_id, node)
+                for eclass_id in sorted(self.classes_with_op(op))
+                for node in self._classes[eclass_id].nodes
+                if node.op == op
+            ]
+            if entries:
+                table[op] = entries
         return table
+
+    def classes_with_op(self, op: str) -> Set[int]:
+        """Canonical ids of the e-classes containing at least one ``op`` e-node.
+
+        Served from an index maintained by :meth:`add`; merged-away ids are
+        canonicalised (and compacted back into the index) on access, so this
+        never scans the whole e-graph.
+        """
+        ids = self._op_classes.get(op)
+        if not ids:
+            return set()
+        canonical = {self.find(c) for c in ids}
+        if len(canonical) != len(ids):
+            self._op_classes[op] = set(canonical)
+        return canonical
+
+    # ------------------------------------------------------------------ #
+    # Dirty tracking (incremental e-matching support)
+    # ------------------------------------------------------------------ #
+
+    def dirty_classes(self) -> Set[int]:
+        """Canonical e-classes touched since the last :meth:`take_dirty`."""
+        return {self.find(c) for c in self._dirty}
+
+    @property
+    def dirty_size(self) -> int:
+        """Raw size of the dirty set.
+
+        The set only grows between :meth:`take_dirty` calls, so this is a
+        cheap change stamp: an unchanged size means an unchanged set.
+        """
+        return len(self._dirty)
+
+    def take_dirty(self) -> Set[int]:
+        """Return the dirty set and reset it (one exploration iteration's delta)."""
+        dirty = self.dirty_classes()
+        self._dirty.clear()
+        return dirty
 
     def represents(self, eclass_id: int, expr: RecExpr, index: Optional[int] = None) -> bool:
         """Check whether ``expr`` is represented by e-class ``eclass_id``."""

@@ -4,23 +4,38 @@ Given a pattern ``l`` (a term with variables) and an e-graph, e-matching finds
 all substitutions ``sigma`` (variable -> e-class) and root e-classes such that
 ``l[sigma]`` is represented by the root e-class (paper Section 2.2).
 
-The matcher below is the classical backtracking relational matcher: it walks
-the pattern top-down against each candidate e-node, branching on every e-node
-of the right operator/arity within an e-class, and threading a substitution
-that must stay consistent.  This matches the behaviour of egg's virtual
-machine matcher, albeit less optimised -- adequate for the graph sizes a
-pure-Python reproduction targets.
+Two matchers live behind the same interface:
+
+* the **compiled virtual machine** (:mod:`repro.egraph.machine`), which runs a
+  flat per-pattern instruction program over explicit registers -- this is the
+  default used by :func:`search_pattern` / :func:`search_eclass`;
+* the **naive backtracking matcher** (:func:`naive_search_pattern` /
+  :func:`naive_search_eclass`), the original interpretive implementation that
+  re-walks the pattern tree through recursive generators.  It is kept as the
+  executable specification: the equivalence tests and ``benchmarks/
+  bench_ematch.py`` check the VM against it.
+
+Both return the same canonical match sets in the same deterministic order
+(sorted by root e-class, then bindings), so they are interchangeable
+trajectory-for-trajectory in the saturation runner.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
 
 from repro.egraph.egraph import EGraph
-from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar, Substitution
+from repro.egraph.pattern import Pattern, PatternTerm, PatternVar, Substitution
 
-__all__ = ["Match", "search_pattern", "search_eclass", "count_matches"]
+__all__ = [
+    "Match",
+    "search_pattern",
+    "search_eclass",
+    "count_matches",
+    "naive_search_pattern",
+    "naive_search_eclass",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +50,34 @@ class Match:
             eclass=egraph.find(self.eclass),
             subst={k: egraph.find(v) for k, v in self.subst.items()},
         )
+
+
+# --------------------------------------------------------------------- #
+# Default interface: thin wrappers over the compiled VM
+# --------------------------------------------------------------------- #
+
+
+def search_pattern(egraph: EGraph, pattern: Pattern) -> List[Match]:
+    """All matches of ``pattern`` anywhere in the e-graph (compiled VM)."""
+    from repro.egraph.machine import vm_search_pattern
+
+    return vm_search_pattern(egraph, pattern)
+
+
+def search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int) -> List[Match]:
+    """All matches of ``pattern`` rooted at ``eclass_id`` (compiled VM)."""
+    from repro.egraph.machine import vm_search_eclass
+
+    return vm_search_eclass(egraph, pattern, eclass_id)
+
+
+def count_matches(egraph: EGraph, pattern: Pattern) -> int:
+    return len(search_pattern(egraph, pattern))
+
+
+# --------------------------------------------------------------------- #
+# Naive backtracking matcher (reference implementation)
+# --------------------------------------------------------------------- #
 
 
 def _match_term(
@@ -76,8 +119,10 @@ def _match_term(
             yield s
 
 
-def search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int) -> List[Match]:
-    """All matches of ``pattern`` rooted at ``eclass_id``."""
+def naive_search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int) -> List[Match]:
+    """All matches of ``pattern`` rooted at ``eclass_id`` (interpretive matcher)."""
+    from repro.egraph.machine import match_sort_key
+
     eclass_id = egraph.find(eclass_id)
     results: List[Match] = []
     seen = set()
@@ -88,16 +133,19 @@ def search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int) -> List[Matc
             continue
         seen.add(key)
         results.append(Match(eclass=eclass_id, subst=canon))
+    results.sort(key=match_sort_key)
     return results
 
 
-def search_pattern(egraph: EGraph, pattern: Pattern) -> List[Match]:
-    """All matches of ``pattern`` anywhere in the e-graph.
+def naive_search_pattern(egraph: EGraph, pattern: Pattern) -> List[Match]:
+    """All matches of ``pattern`` anywhere in the e-graph (interpretive matcher).
 
     The search is seeded from e-classes that contain at least one e-node whose
     operator equals the pattern root's operator, which avoids a full scan per
     e-class for selective patterns.
     """
+    from repro.egraph.machine import match_sort_key
+
     root = pattern.root
     matches: List[Match] = []
 
@@ -105,14 +153,11 @@ def search_pattern(egraph: EGraph, pattern: Pattern) -> List[Match]:
         # Degenerate: matches every e-class with an empty binding to itself.
         for eclass in egraph.classes():
             matches.append(Match(eclass=eclass.id, subst={root.name: eclass.id}))
+        matches.sort(key=match_sort_key)
         return matches
 
     by_op = egraph.nodes_by_op().get(root.op, [])
     candidate_classes = sorted({egraph.find(eclass_id) for eclass_id, _ in by_op})
     for eclass_id in candidate_classes:
-        matches.extend(search_eclass(egraph, pattern, eclass_id))
+        matches.extend(naive_search_eclass(egraph, pattern, eclass_id))
     return matches
-
-
-def count_matches(egraph: EGraph, pattern: Pattern) -> int:
-    return len(search_pattern(egraph, pattern))

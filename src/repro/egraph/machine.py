@@ -1,0 +1,387 @@
+"""Compiled e-matching virtual machine.
+
+The classical matcher in :mod:`repro.egraph.ematch` interprets the pattern
+tree on every search, recursing through Python generators.  This module
+follows egg's design instead: each :class:`~repro.egraph.pattern.Pattern` is
+*compiled once* into a flat program of four instructions executed over an
+explicit register list (e-class ids), with backtracking driven by an explicit
+choice-point stack rather than recursion.
+
+Instruction set
+---------------
+
+``Bind(op, arity, in_reg, out_reg)``
+    Branch over every e-node with operator ``op`` / arity ``arity`` in the
+    e-class held in ``regs[in_reg]``; for each, write its (canonicalised)
+    child e-classes into ``regs[out_reg:out_reg + arity]``.  This is the only
+    branching instruction, so it is the only place a choice point is pushed.
+
+``Compare(reg_a, reg_b)``
+    Fail unless both registers hold the same canonical e-class (a repeated
+    pattern variable).
+
+``Lookup(steps, reg)``
+    Fail unless the e-class in ``regs[reg]`` represents the ground sub-term
+    described by ``steps`` (a bottom-up tuple of ``(op, child_slots)``).  On a
+    clean e-graph this is a pure hash-cons lookup; on a dirty one (mid
+    iteration, unions pending) it degrades to a membership descent, which is
+    what the interpretive matcher effectively does.
+
+``Yield(names, regs)``
+    Emit the substitution ``{name: regs[r]}`` and backtrack to enumerate the
+    next match.
+
+Incremental (delta) search
+--------------------------
+
+:class:`IncrementalMatcher` caches a pattern's match set per e-graph and, for
+e-classes reported dirty since the previous search, re-searches only the
+*delta closure*: the dirty classes plus their ancestors within ``depth``
+parent hops, where ``depth`` is the pattern's operator depth.  Because
+e-graphs grow monotonically, old matches never disappear (they only
+canonicalise), so ``cached ∪ re-search(closure)`` equals a full search; see
+``docs/ematching.md`` for the argument.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import ENode
+from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar
+
+__all__ = [
+    "Program",
+    "compile_pattern",
+    "vm_search_pattern",
+    "vm_search_eclass",
+    "delta_closure",
+    "IncrementalMatcher",
+    "match_sort_key",
+]
+
+# Opcodes (tuples keep the program flat and cheap to execute).
+BIND, COMPARE, LOOKUP, YIELD = range(4)
+
+#: Ground sub-terms with at least this many operator nodes are compiled to a
+#: single Lookup instead of a chain of Binds.
+_LOOKUP_MIN_NODES = 2
+
+
+@dataclass(frozen=True)
+class Program:
+    """A compiled pattern: a flat instruction tuple plus metadata."""
+
+    insts: Tuple[tuple, ...]
+    n_regs: int
+    #: Operator depth of the pattern (variables contribute 0).  The matcher
+    #: observes class identities up to ``depth`` edges below a match root, so
+    #: a new match can appear up to ``depth`` parent hops above a dirty class.
+    depth: int
+    #: Root operator, or ``None`` for the degenerate variable-root pattern.
+    root_op: Optional[str]
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        names = {BIND: "Bind", COMPARE: "Compare", LOOKUP: "Lookup", YIELD: "Yield"}
+        return "\n".join(f"{i:3d}  {names[inst[0]]}{inst[1:]}" for i, inst in enumerate(self.insts))
+
+
+# Weak keys: programs live as long as some rule (or caller) holds the
+# pattern, so dynamically-built patterns don't pin compiled programs forever.
+_PROGRAM_CACHE: "weakref.WeakKeyDictionary[Pattern, Program]" = weakref.WeakKeyDictionary()
+
+
+def _is_ground(term: PatternTerm) -> bool:
+    if isinstance(term, PatternVar):
+        return False
+    return all(_is_ground(c) for c in term.children)
+
+
+def _ground_size(term: PatternNode) -> int:
+    return 1 + sum(_ground_size(c) for c in term.children)
+
+
+def _ground_steps(term: PatternNode) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+    """Flatten a ground term into bottom-up ``(op, child_slots)`` steps."""
+    steps: List[Tuple[str, Tuple[int, ...]]] = []
+
+    def go(t: PatternNode) -> int:
+        slots = tuple(go(c) for c in t.children)
+        steps.append((t.op, slots))
+        return len(steps) - 1
+
+    go(term)
+    return tuple(steps)
+
+
+def compile_pattern(pattern: Pattern) -> Program:
+    """Compile ``pattern`` into a :class:`Program` (cached per pattern)."""
+    cached = _PROGRAM_CACHE.get(pattern)
+    if cached is not None:
+        return cached
+
+    insts: List[tuple] = []
+    var_regs: Dict[str, int] = {}
+    next_reg = 1
+    todo: deque = deque([(0, pattern.root)])
+    while todo:
+        reg, term = todo.popleft()
+        if isinstance(term, PatternVar):
+            first = var_regs.get(term.name)
+            if first is None:
+                var_regs[term.name] = reg
+            else:
+                insts.append((COMPARE, reg, first))
+        elif _is_ground(term) and _ground_size(term) >= _LOOKUP_MIN_NODES:
+            insts.append((LOOKUP, _ground_steps(term), reg))
+        else:
+            out = next_reg
+            next_reg += len(term.children)
+            insts.append((BIND, term.op, len(term.children), reg, out))
+            for i, child in enumerate(term.children):
+                todo.append((out + i, child))
+
+    order = pattern.variables()
+    insts.append((YIELD, tuple(order), tuple(var_regs[name] for name in order)))
+
+    root = pattern.root
+    program = Program(
+        insts=tuple(insts),
+        n_regs=next_reg,
+        depth=pattern.depth(),
+        root_op=None if isinstance(root, PatternVar) else root.op,
+    )
+    _PROGRAM_CACHE[pattern] = program
+    return program
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+
+def _ground_lookup_ok(egraph: EGraph, steps, eclass_id: int) -> bool:
+    """Does ``eclass_id`` represent the ground term encoded by ``steps``?"""
+    if egraph.is_clean():
+        # Hash-cons path: evaluate the term bottom-up through the memo.
+        values: List[int] = []
+        for op, slots in steps:
+            found = egraph.lookup(ENode(op, tuple(values[s] for s in slots)))
+            if found is None:
+                return False
+            values.append(found)
+        return values[-1] == egraph.find(eclass_id)
+
+    # Dirty graph: the memo may miss congruent-but-unmerged nodes, so fall
+    # back to the same membership descent the interpretive matcher performs.
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    def represented(step: int, cls: int) -> bool:
+        cls = egraph.find(cls)
+        key = (step, cls)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        memo[key] = False  # cycle guard; e-graphs can be cyclic
+        op, slots = steps[step]
+        ok = False
+        for node in egraph[cls].nodes:
+            if node.op == op and len(node.children) == len(slots):
+                if all(represented(s, c) for s, c in zip(slots, node.children)):
+                    ok = True
+                    break
+        memo[key] = ok
+        return ok
+
+    return represented(len(steps) - 1, eclass_id)
+
+
+def _execute(egraph: EGraph, program: Program, root_class: int) -> Iterable[Dict[str, int]]:
+    """Run ``program`` rooted at ``root_class``, yielding raw substitutions."""
+    insts = program.insts
+    n = len(insts)
+    find = egraph.find
+    regs: List[int] = [find(root_class)]
+    # Choice points: [pc, saved_reg_len, node_iterator, op, arity]
+    stack: List[list] = []
+    pc = 0
+
+    while True:
+        advanced = True
+        while pc < n:
+            inst = insts[pc]
+            code = inst[0]
+            if code == BIND:
+                stack.append([pc, len(regs), iter(egraph[regs[inst[3]]].nodes), inst[1], inst[2]])
+                advanced = False
+                break
+            if code == COMPARE:
+                if find(regs[inst[1]]) != find(regs[inst[2]]):
+                    advanced = False
+                    break
+                pc += 1
+            elif code == LOOKUP:
+                if not _ground_lookup_ok(egraph, inst[1], regs[inst[2]]):
+                    advanced = False
+                    break
+                pc += 1
+            else:  # YIELD -- emit, then backtrack for the next match.
+                yield {name: find(regs[r]) for name, r in zip(inst[1], inst[2])}
+                advanced = False
+                break
+
+        if advanced:  # defensive: a program always ends in YIELD
+            return  # pragma: no cover
+
+        # Backtrack: advance the most recent choice point with work left.
+        while stack:
+            frame = stack[-1]
+            fpc, reg_len, node_iter, op, arity = frame
+            node = None
+            for candidate in node_iter:
+                if candidate.op == op and len(candidate.children) == arity:
+                    node = candidate
+                    break
+            if node is None:
+                stack.pop()
+                continue
+            del regs[reg_len:]
+            regs.extend(find(c) for c in node.children)
+            pc = fpc + 1
+            break
+        else:
+            return
+
+
+def match_sort_key(match) -> tuple:
+    """Deterministic ordering for match lists (root class, then bindings)."""
+    return (match.eclass, tuple(sorted(match.subst.items())))
+
+
+def _collect_matches(egraph: EGraph, program: Program, eclass_id: int, out: list) -> None:
+    from repro.egraph.ematch import Match  # local import: ematch imports us
+
+    eclass_id = egraph.find(eclass_id)
+    seen: Set[tuple] = set()
+    for subst in _execute(egraph, program, eclass_id):
+        key = tuple(sorted(subst.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(Match(eclass=eclass_id, subst=subst))
+
+
+def vm_search_eclass(egraph: EGraph, pattern: Pattern, eclass_id: int):
+    """All matches of ``pattern`` rooted at ``eclass_id`` (compiled path)."""
+    matches: list = []
+    _collect_matches(egraph, compile_pattern(pattern), eclass_id, matches)
+    matches.sort(key=match_sort_key)
+    return matches
+
+
+def vm_search_classes(egraph: EGraph, program: Program, classes: Sequence[int]):
+    matches: list = []
+    for eclass_id in classes:
+        _collect_matches(egraph, program, eclass_id, matches)
+    matches.sort(key=match_sort_key)
+    return matches
+
+
+def vm_search_pattern(egraph: EGraph, pattern: Pattern):
+    """All matches of ``pattern`` anywhere in the e-graph (compiled path)."""
+    from repro.egraph.ematch import Match
+
+    program = compile_pattern(pattern)
+    if program.root_op is None:
+        name = pattern.root.name  # type: ignore[union-attr]
+        matches = [Match(eclass=c.id, subst={name: c.id}) for c in egraph.classes()]
+        matches.sort(key=match_sort_key)
+        return matches
+    candidates = sorted(egraph.classes_with_op(program.root_op))
+    return vm_search_classes(egraph, program, candidates)
+
+
+# --------------------------------------------------------------------- #
+# Incremental (delta) search
+# --------------------------------------------------------------------- #
+
+
+def delta_closure(egraph: EGraph, classes: Iterable[int], depth: int) -> Set[int]:
+    """Dirty classes plus ancestors within ``depth`` parent hops.
+
+    A pattern of operator depth ``d`` rooted at class ``X`` observes the
+    *node sets* of classes up to ``d - 1`` edges below ``X`` and the
+    *identities* of classes up to ``d`` edges below (the children bound by
+    variables or ground leaves at the deepest level -- a union there can
+    satisfy a ``Compare`` that previously failed).  A change ``d`` edges
+    below ``X`` therefore creates new matches at ``X``, so the closure must
+    climb ``d`` parent hops from every dirty class.
+    """
+    find = egraph.find
+    frontier = {find(c) for c in classes}
+    closure = set(frontier)
+    for _ in range(max(0, depth)):
+        nxt: Set[int] = set()
+        for cls in frontier:
+            for _node, parent_class in egraph[cls].parents:
+                parent = find(parent_class)
+                if parent not in closure:
+                    closure.add(parent)
+                    nxt.add(parent)
+        if not nxt:
+            break
+        frontier = nxt
+    return closure
+
+
+class IncrementalMatcher:
+    """Cached match set for one pattern, updated from iteration deltas.
+
+    ``search(egraph)`` performs a full compiled search.  ``search(egraph,
+    delta=classes)`` re-searches only the delta closure and merges with the
+    (re-canonicalised) cached matches, which is equivalent because e-graph
+    growth is monotone.  The cache is tied to one e-graph; searching a
+    different e-graph resets it.
+    """
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.program = compile_pattern(pattern)
+        self._egraph_ref: Optional[weakref.ref] = None
+        self._matches: Optional[list] = None
+
+    def reset(self) -> None:
+        self._egraph_ref = None
+        self._matches = None
+
+    def search(self, egraph: EGraph, delta: Optional[Set[int]] = None) -> list:
+        if self._egraph_ref is None or self._egraph_ref() is not egraph:
+            self._matches = None
+            self._egraph_ref = weakref.ref(egraph)
+
+        program = self.program
+        if delta is None or self._matches is None or program.root_op is None:
+            result = vm_search_pattern(egraph, self.pattern)
+            self._matches = result
+            return list(result)
+
+        closure = delta_closure(egraph, delta, program.depth)
+        candidates = sorted(c for c in egraph.classes_with_op(program.root_op) if c in closure)
+        fresh = vm_search_classes(egraph, program, candidates)
+
+        merged: Dict[tuple, object] = {}
+        for match in self._matches:
+            canon = match.canonical(egraph)
+            merged[match_sort_key(canon)] = canon
+        for match in fresh:
+            merged[match_sort_key(match)] = match
+        result = [merged[key] for key in sorted(merged)]
+        self._matches = result
+        return list(result)

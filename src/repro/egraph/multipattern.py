@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.egraph.egraph import EGraph
-from repro.egraph.ematch import Match, search_pattern
+from repro.egraph.ematch import Match, naive_search_pattern, search_pattern
 from repro.egraph.pattern import Pattern, Substitution
 
 __all__ = ["MultiMatch", "MultiPatternRewrite", "MultiPatternSearcher"]
@@ -78,6 +78,10 @@ class MultiPatternRewrite:
                 raise ValueError(
                     f"multi-pattern rewrite {self.name!r}: target uses unbound variables {sorted(unbound)}"
                 )
+        # Precompile every source pattern's e-matching program (cached on the
+        # pattern, so this is paid once per distinct pattern).
+        for p in self.sources:
+            p.compile()
 
     @classmethod
     def parse(
@@ -185,6 +189,8 @@ class MultiPatternSearcher:
     """
 
     def __init__(self, rules: Sequence[MultiPatternRewrite]) -> None:
+        from repro.egraph.machine import IncrementalMatcher
+
         self.rules = list(rules)
         # canonical pattern string -> canonical Pattern
         self._canonical_patterns: Dict[str, Pattern] = {}
@@ -198,6 +204,11 @@ class MultiPatternSearcher:
                 self._canonical_patterns.setdefault(key, canonical)
                 entries.append((key, rename_map))
             self._rule_sources.append(entries)
+        # One incremental matcher per unique canonical pattern (compiled once).
+        self._matchers: Dict[str, IncrementalMatcher] = {
+            key: IncrementalMatcher(pattern)
+            for key, pattern in self._canonical_patterns.items()
+        }
 
     @property
     def num_unique_patterns(self) -> int:
@@ -207,12 +218,25 @@ class MultiPatternSearcher:
         self,
         egraph: EGraph,
         max_combinations: Optional[int] = None,
+        delta=None,
+        matcher: str = "vm",
     ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
-        """One iteration's worth of matches for every rule."""
-        canonical_matches: Dict[str, List[Match]] = {
-            key: search_pattern(egraph, pattern)
-            for key, pattern in self._canonical_patterns.items()
-        }
+        """One iteration's worth of matches for every rule.
+
+        ``matcher`` selects the compiled VM (default) or the naive reference
+        matcher; with the VM, ``delta`` optionally restricts the search to the
+        e-classes dirtied since the previous call (plus cached matches).
+        """
+        if matcher == "naive":
+            canonical_matches: Dict[str, List[Match]] = {
+                key: naive_search_pattern(egraph, pattern)
+                for key, pattern in self._canonical_patterns.items()
+            }
+        else:
+            canonical_matches = {
+                key: self._matchers[key].search(egraph, delta=delta)
+                for key in self._canonical_patterns
+            }
         results: List[Tuple[MultiPatternRewrite, List[MultiMatch]]] = []
         for rule, entries in zip(self.rules, self._rule_sources):
             per_source: List[List[Match]] = []

@@ -120,6 +120,31 @@ class Pattern:
     def is_ground(self) -> bool:
         return not self.variables()
 
+    def depth(self) -> int:
+        """Operator depth (variables contribute 0); bounds e-matching descent."""
+
+        def go(term: PatternTerm) -> int:
+            if isinstance(term, PatternVar):
+                return 0
+            return 1 + max((go(c) for c in term.children), default=0)
+
+        return go(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Compilation (e-matching virtual machine)
+    # ------------------------------------------------------------------ #
+
+    def compile(self):
+        """Compile to a flat e-matching :class:`~repro.egraph.machine.Program`.
+
+        Programs are cached per pattern, so rules constructed once pay the
+        compilation cost once, at :class:`~repro.egraph.rewrite.Rewrite` /
+        ``RuleSet`` construction time.
+        """
+        from repro.egraph.machine import compile_pattern
+
+        return compile_pattern(self)
+
     def ops(self) -> List[str]:
         result: List[str] = []
 

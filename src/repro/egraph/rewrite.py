@@ -40,6 +40,9 @@ class Rewrite:
                 f"rewrite {self.name!r}: right-hand side uses variables not bound "
                 f"on the left-hand side: {sorted(unbound)}"
             )
+        # Compile the source pattern once, at rule-construction time; the
+        # program is cached on the pattern, so every search reuses it.
+        self.program = self.lhs.compile()
 
     @classmethod
     def parse(
@@ -57,10 +60,18 @@ class Rewrite:
     # ------------------------------------------------------------------ #
 
     def search(self, egraph: EGraph) -> List[Match]:
-        """Find all matches of the source pattern."""
-        matches = search_pattern(egraph, self.lhs)
+        """Find all matches of the source pattern (compiled VM)."""
+        return self.filter_matches(egraph, search_pattern(egraph, self.lhs))
+
+    def filter_matches(self, egraph: EGraph, matches: List[Match]) -> List[Match]:
+        """Apply this rule's condition to a raw match list.
+
+        Conditions are re-evaluated on every search (never cached): e-class
+        analysis data can change between iterations, so a condition that once
+        failed may later pass for the same canonical match.
+        """
         if self.condition is None:
-            return matches
+            return list(matches)
         return [m for m in matches if self.condition(egraph, m)]
 
     def apply_match(self, egraph: EGraph, match: Match) -> Tuple[int, bool]:

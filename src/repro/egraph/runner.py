@@ -21,10 +21,12 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.egraph.cycles import CycleFilter, EfficientCycleFilter, FilterList, NoCycleFilter, VanillaCycleFilter
 from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import naive_search_pattern
+from repro.egraph.machine import IncrementalMatcher
 from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
 from repro.egraph.rewrite import Rewrite
 
@@ -54,6 +56,13 @@ class IterationReport:
     seconds: float = 0.0
     applied_multi: bool = False
     n_rules_banned: int = 0
+    #: Time spent searching for matches (as opposed to applying them).
+    search_seconds: float = 0.0
+    #: True when this iteration searched the whole e-graph; False when the
+    #: search was seeded from the previous iteration's delta.
+    full_search: bool = True
+    #: Size of the previous iteration's delta (-1 for a full search).
+    n_delta_classes: int = -1
 
 
 @dataclass
@@ -66,6 +75,7 @@ class RunnerReport:
     n_enodes: int = 0
     n_eclasses: int = 0
     n_filtered: int = 0
+    search_seconds: float = 0.0
 
     @property
     def num_iterations(self) -> int:
@@ -76,6 +86,7 @@ class RunnerReport:
             "stop_reason": self.stop_reason.value,
             "iterations": self.num_iterations,
             "seconds": round(self.total_seconds, 4),
+            "search_seconds": round(self.search_seconds, 4),
             "enodes": self.n_enodes,
             "eclasses": self.n_eclasses,
             "filtered_nodes": self.n_filtered,
@@ -101,6 +112,17 @@ class RunnerLimits:
     match_limit: int = 1_000
     #: Backoff scheduler: base ban length in iterations (doubles per offence).
     ban_length: int = 5
+    #: E-matcher implementation: "vm" (compiled virtual machine, the default)
+    #: or "naive" (the interpretive reference matcher).  Both produce the same
+    #: match lists, so the exploration trajectory is identical.
+    matcher: str = "vm"
+    #: Seed each iteration's search from the e-classes dirtied by the previous
+    #: one (VM only).  Iteration 0 always searches the full e-graph.
+    use_delta: bool = True
+    #: Fall back to a full search when the delta covers more than this
+    #: fraction of all e-classes (a large union cascade touched everything, so
+    #: the closure walk would cost more than it saves).
+    delta_full_fraction: float = 0.5
 
 
 def make_cycle_filter(kind: str) -> CycleFilter:
@@ -147,11 +169,19 @@ class Runner:
         self.limits = limits if limits is not None else RunnerLimits()
         if self.limits.scheduler not in ("simple", "backoff"):
             raise ValueError(f"unknown scheduler {self.limits.scheduler!r}; expected 'simple' or 'backoff'")
+        if self.limits.matcher not in ("vm", "naive"):
+            raise ValueError(f"unknown matcher {self.limits.matcher!r}; expected 'vm' or 'naive'")
         self.cycle_filter = cycle_filter if cycle_filter is not None else NoCycleFilter()
         self._multi_searcher = MultiPatternSearcher(self.multi_rewrites) if self.multi_rewrites else None
         # Backoff scheduler state, per single-pattern rule.
         self._banned_until: Dict[int, int] = {}
         self._times_banned: Dict[int, int] = {}
+        # One incremental matcher per single-pattern rule (compiled programs
+        # are shared through the per-pattern cache).
+        self._matchers: List[IncrementalMatcher] = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
+        # E-classes dirtied by the previous iteration; None forces a full
+        # search (iteration 0, naive matcher, or delta matching disabled).
+        self._delta: Optional[Set[int]] = None
 
     @property
     def filter_list(self) -> FilterList:
@@ -164,6 +194,12 @@ class Runner:
         start = time.perf_counter()
         reports: List[IterationReport] = []
         stop = StopReason.ITERATION_LIMIT
+
+        # Iteration 0 always searches the whole e-graph, so the dirty marks
+        # accumulated while the caller seeded it carry no information; drain
+        # them so iteration 1's delta covers only iteration 0's changes.
+        self.egraph.take_dirty()
+        self._delta = None
 
         for iteration in range(self.limits.iter_limit):
             elapsed = time.perf_counter() - start
@@ -197,6 +233,7 @@ class Runner:
             n_enodes=self.egraph.num_enodes,
             n_eclasses=self.egraph.num_eclasses,
             n_filtered=len(self.filter_list),
+            search_seconds=sum(r.search_seconds for r in reports),
         )
 
     # ------------------------------------------------------------------ #
@@ -207,6 +244,35 @@ class Runner:
         unions_before = self.egraph.num_unions
         enodes_before = self.egraph.num_enodes
 
+        use_vm = self.limits.matcher == "vm"
+        delta_base = self._delta if (use_vm and self.limits.use_delta) else None
+        if (
+            delta_base is not None
+            and len(delta_base) > self.limits.delta_full_fraction * max(1, self.egraph.num_eclasses)
+        ):
+            # A union cascade touched most of the e-graph; the closure walk
+            # would cost more than the full search it is meant to avoid.
+            delta_base = None
+        report.full_search = delta_base is None
+        report.n_delta_classes = -1 if delta_base is None else len(delta_base)
+
+        delta_cache: Dict[str, object] = {"stamp": -1, "value": None}
+
+        def effective_delta() -> Optional[Set[int]]:
+            # Rules applied earlier in this same iteration have already
+            # dirtied classes; including the live dirty set keeps each search
+            # equal to a full search at that point, so the delta path follows
+            # the exact same trajectory as the naive matcher.  The dirty set
+            # only grows within an iteration, so its size is a valid change
+            # stamp and quiescent rule tails reuse the previous union.
+            if delta_base is None:
+                return None
+            stamp = self.egraph.dirty_size
+            if delta_cache["stamp"] != stamp:
+                delta_cache["stamp"] = stamp
+                delta_cache["value"] = delta_base | self.egraph.dirty_classes()
+            return delta_cache["value"]
+
         self.cycle_filter.begin_iteration(self.egraph)
 
         # --- multi-pattern rules (first k_multi iterations only) -------- #
@@ -215,9 +281,14 @@ class Runner:
         # applications has already been spent on the still-compact e-graph.
         if self._multi_searcher is not None and iteration < self.limits.k_multi:
             report.applied_multi = True
+            t_search = time.perf_counter()
             rule_matches = self._multi_searcher.search(
-                self.egraph, self.limits.max_multi_combinations
+                self.egraph,
+                self.limits.max_multi_combinations,
+                delta=effective_delta(),
+                matcher=self.limits.matcher,
             )
+            report.search_seconds += time.perf_counter() - t_search
             for rule, combos in rule_matches:
                 report.n_matches += len(combos)
                 needed_vars = set()
@@ -240,9 +311,18 @@ class Runner:
             for rule_index, rewrite in enumerate(self.rewrites):
                 if self.limits.scheduler == "backoff":
                     if self._banned_until.get(rule_index, -1) > iteration:
+                        # The cached match set will be more than one delta
+                        # stale when the ban lifts; force a full re-search.
+                        self._matchers[rule_index].reset()
                         report.n_rules_banned += 1
                         continue
-                matches = rewrite.search(self.egraph)
+                t_search = time.perf_counter()
+                if use_vm:
+                    raw = self._matchers[rule_index].search(self.egraph, delta=effective_delta())
+                else:
+                    raw = naive_search_pattern(self.egraph, rewrite.lhs)
+                matches = rewrite.filter_matches(self.egraph, raw)
+                report.search_seconds += time.perf_counter() - t_search
                 report.n_matches += len(matches)
                 if self.limits.scheduler == "backoff":
                     times = self._times_banned.get(rule_index, 0)
@@ -267,6 +347,11 @@ class Runner:
         self.egraph.rebuild()
         report.n_cycles_resolved = self.cycle_filter.end_iteration(self.egraph)
         self.egraph.rebuild()
+
+        # Everything dirtied during this iteration (rule applications, repairs,
+        # cycle resolution) seeds the next iteration's search.
+        dirty = self.egraph.take_dirty()
+        self._delta = dirty if (use_vm and self.limits.use_delta) else None
 
         # Saturation detection: nothing applied, or nothing actually changed.
         # A banned rule might still have work to do, so an iteration with bans

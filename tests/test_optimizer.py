@@ -10,6 +10,9 @@ from repro.ir.validate import check_same_interface, validate_graph
 from repro.rules import default_ruleset
 from repro.search import BacktrackingSearch
 
+# End-to-end saturation runs; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 FAST = TensatConfig.fast()
 
 

@@ -1,0 +1,66 @@
+"""Golden regression tests: the VM matcher path reproduces the naive path.
+
+For a few small seed models, the optimizer is run once with the naive
+interpretive matcher (the reference) and once with the compiled e-matching
+VM + delta search.  Because both matchers return identical ordered match
+lists, the exploration trajectories must coincide *bit-for-bit*: same e-graph
+growth, same stop reason, same extracted cost.  Any divergence means the VM
+changed the semantics of search, not just its speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TensatConfig
+from repro.core.optimizer import TensatOptimizer
+from repro.models import build_model
+
+#: Small, fast exploration budgets; golden tests check equivalence, not scale.
+GOLDEN_CASES = [
+    # (model, config overrides)
+    ("nasrnn", dict(extraction="greedy")),
+    ("resnext", dict(extraction="greedy", k_multi=2)),
+    ("squeezenet", dict(extraction="ilp", ilp_time_limit=20.0)),
+]
+
+BASE = dict(node_limit=2_000, iter_limit=5, k_multi=1)
+
+
+def _golden_record(model: str, overrides: dict, matcher: str) -> dict:
+    config = TensatConfig(matcher=matcher, **{**BASE, **overrides})
+    graph = build_model(model, "tiny")
+    result = TensatOptimizer(config=config).optimize(graph)
+    report = result.runner_report
+    return {
+        "num_enodes": result.stats.num_enodes,
+        "original_cost": result.stats.original_cost,
+        "optimized_cost": result.stats.optimized_cost,
+        "stop_reason": result.stats.stop_reason,
+        # Finer-grained trajectory data: any matcher divergence shows up here
+        # before it shows up in the headline numbers.
+        "iterations": report.num_iterations,
+        "per_iteration_matches": tuple(it.n_matches for it in report.iterations),
+        "per_iteration_applied": tuple(it.n_applied for it in report.iterations),
+        "per_iteration_enodes": tuple(it.n_enodes for it in report.iterations),
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model,overrides", GOLDEN_CASES, ids=[m for m, _ in GOLDEN_CASES])
+def test_vm_path_reproduces_naive_golden_record(model, overrides):
+    golden = _golden_record(model, overrides, matcher="naive")
+    vm = _golden_record(model, overrides, matcher="vm")
+    assert vm == golden
+
+
+@pytest.mark.slow
+def test_delta_matching_off_matches_delta_on():
+    """Disabling delta seeding must not change the trajectory either."""
+    config = dict(BASE, extraction="greedy")
+    graph = build_model("nasrnn", "tiny")
+    with_delta = TensatOptimizer(config=TensatConfig(delta_matching=True, **config)).optimize(graph)
+    without = TensatOptimizer(config=TensatConfig(delta_matching=False, **config)).optimize(graph)
+    assert with_delta.stats.num_enodes == without.stats.num_enodes
+    assert with_delta.stats.optimized_cost == without.stats.optimized_cost
+    assert with_delta.stats.stop_reason == without.stats.stop_reason

@@ -1,0 +1,86 @@
+"""Regression tests for ``TensatOptimizer._materialize``'s fallback chain.
+
+An extraction can select a term that fails shape inference when rebuilt into
+a concrete graph (mixed split locations in one e-class; see the method's
+docstring).  The safe response is staged: reject the candidate and re-extract
+greedily, and if that also fails, keep the original graph.  These tests drive
+each stage directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.optimizer as optimizer_module
+from repro.core.config import TensatConfig
+from repro.core.optimizer import TensatOptimizer
+from repro.egraph.extraction.base import ExtractionResult
+from repro.egraph.language import RecExpr
+from repro.ir.graph import GraphBuilder
+
+CONFIG = TensatConfig.fast()
+
+#: A term whose matmul inner dimensions disagree: converting it back to a
+#: TensorGraph raises ShapeError.
+BAD_EXPR = RecExpr.parse('(matmul 0 (input "x@8 64") (weight "w@7 5"))')
+
+
+@pytest.fixture
+def explored(shared_matmul_graph):
+    optimizer = TensatOptimizer(config=CONFIG)
+    egraph, root, cycle_filter, _report = optimizer.explore(shared_matmul_graph)
+    return optimizer, shared_matmul_graph, egraph, root, cycle_filter
+
+
+def _bad_extraction() -> ExtractionResult:
+    return ExtractionResult(expr=BAD_EXPR, cost=1.0, status="ilp_optimal")
+
+
+def test_rejected_ilp_falls_back_to_greedy(explored):
+    optimizer, graph, egraph, root, cycle_filter = explored
+    optimized, extraction = optimizer._materialize(graph, egraph, root, cycle_filter, _bad_extraction())
+    # The greedy re-extraction succeeds and its provenance is recorded.
+    assert extraction.status == "ilp_optimal_rejected_greedy_fallback"
+    assert optimized is not graph
+    assert optimized.name == f"{graph.name}-optimized"
+
+
+def test_rejected_greedy_keeps_original(explored, monkeypatch):
+    optimizer, graph, egraph, root, cycle_filter = explored
+
+    class AlwaysBadGreedy:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def extract(self, egraph, root):
+            return _bad_extraction()
+
+    monkeypatch.setattr(optimizer_module, "GreedyExtractor", AlwaysBadGreedy)
+    extraction = _bad_extraction()
+    optimized, returned = optimizer._materialize(graph, egraph, root, cycle_filter, extraction)
+    # Both stages failed: the original graph is kept, the first extraction's
+    # status records the terminal rejection.
+    assert optimized is graph
+    assert returned is extraction
+    assert returned.status == "ilp_optimal_rejected_original_kept"
+
+
+def test_healthy_extraction_passes_through(explored):
+    optimizer, graph, egraph, root, cycle_filter = explored
+    healthy = optimizer.extract(egraph, root, cycle_filter)
+    optimized, returned = optimizer._materialize(graph, egraph, root, cycle_filter, healthy)
+    assert returned is healthy
+    assert "rejected" not in returned.status
+
+
+def test_end_to_end_optimize_survives_bad_primary_extraction(shared_matmul_graph, monkeypatch):
+    """The full pipeline stays correct when the primary extraction is rejected."""
+    optimizer = TensatOptimizer(config=CONFIG)
+    monkeypatch.setattr(
+        TensatOptimizer, "extract", lambda self, egraph, root, cycle_filter: _bad_extraction()
+    )
+    result = optimizer.optimize(shared_matmul_graph)
+    assert result.stats.extraction_status.startswith("ilp_optimal_rejected")
+    # Whatever fallback stage won, the output must be a valid graph no more
+    # expensive than the input.
+    assert result.optimized_cost <= result.original_cost + 1e-9
