@@ -1,17 +1,19 @@
-"""E-matching benchmark: compiled VM + delta search vs. the naive matcher.
+"""E-matching benchmark: naive matcher vs. per-rule VM vs. shared-prefix trie.
 
 The exploration phase dominates optimization time, and within it the search
 for rule matches dominates (paper Section 6).  This benchmark runs the
-exploration loop on the seed models twice -- once with the interpretive
-backtracking matcher, once with the compiled e-matching VM seeded from
-iteration deltas -- and reports per-iteration search time.  Both matchers
-produce identical match lists, so the two runs follow the exact same
-trajectory (same e-nodes, same iterations, same stop reason); the table below
+search -> plan -> apply pipeline on the seed models three times -- with the
+interpretive backtracking matcher, with one compiled program per rule, and
+with all rule programs merged into the shared-prefix trie -- and reports the
+per-phase timing (search / apply / rebuild).  All three search paths produce
+identical ordered match lists, so the three runs follow the exact same
+trajectory (same e-nodes, same iterations, same stop reason); the table
 asserts this before reporting any timing.
 
 A second section times one-shot full-graph searches of every rule's source
-pattern over the final (saturated) e-graph, isolating the VM's win on the
-search itself from the delta seeding.
+pattern over the final (saturated) e-graph, isolating the wins on the search
+itself from the delta seeding: the VM's win over the interpreter, and the
+trie's win over R independent per-rule sweeps.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from benchmarks.common import bench_scale, format_table, write_result
 from repro.core.config import TensatConfig
 from repro.core.optimizer import TensatOptimizer
 from repro.egraph.ematch import naive_search_pattern, search_pattern
+from repro.egraph.machine import TrieMatcher, build_rule_trie
 from repro.models import build_model
 from repro.rules import default_ruleset
 
@@ -40,10 +43,17 @@ BENCH_CONFIG = dict(
     extraction="greedy",
 )
 
+#: The three search paths behind the pipeline's one search contract.
+MODES = {
+    "naive": dict(matcher="naive"),
+    "per-rule": dict(matcher="vm", search_mode="per-rule"),
+    "trie": dict(matcher="vm", search_mode="trie"),
+}
 
-def _explore(model: str, scale: str, matcher: str):
+
+def _explore(model: str, scale: str, mode: str):
     graph = build_model(model, scale)
-    config = TensatConfig(matcher=matcher, **BENCH_CONFIG)
+    config = TensatConfig(**MODES[mode], **BENCH_CONFIG)
     optimizer = TensatOptimizer(config=config)
     start = time.perf_counter()
     result = optimizer.optimize(graph)
@@ -59,74 +69,102 @@ def _trajectory(result) -> tuple:
         report.num_iterations,
         tuple(it.n_matches for it in report.iterations),
         tuple(it.n_applied for it in report.iterations),
+        tuple(it.n_deduped for it in report.iterations),
     )
 
 
-def _one_shot_search_seconds(egraph, use_vm: bool, repeats: int = 3) -> float:
-    """Full-graph search of every rule's source pattern, best of ``repeats``."""
-    patterns = [rw.lhs for rw in default_ruleset().rewrites]
-    search = search_pattern if use_vm else naive_search_pattern
+def _one_shot_seconds(egraph, search_fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` timing of one full-graph search of every rule."""
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        for pattern in patterns:
-            search(egraph, pattern)
+        search_fn(egraph)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
 def _generate_bench_ematch():
     scale = "small" if bench_scale() == "tiny" else bench_scale()
+    patterns = [rw.lhs for rw in default_ruleset().rewrites]
+    sharing = build_rule_trie(patterns).sharing_stats()
+
     rows: List[list] = []
-    data: Dict[str, dict] = {}
+    shot_rows: List[list] = []
+    data: Dict[str, dict] = {"trie_sharing": sharing}
     for model in BENCH_MODELS:
-        naive_result, naive_total = _explore(model, scale, "naive")
-        vm_result, vm_total = _explore(model, scale, "vm")
+        results = {mode: _explore(model, scale, mode) for mode in MODES}
 
-        # Headline criterion: the compiled path must walk the identical
-        # trajectory -- same match sets, same growth, same stop reason.
-        assert _trajectory(naive_result) == _trajectory(vm_result), model
+        # Headline criterion: every search path must walk the identical
+        # trajectory -- same match sets, same plan, same growth, same stop.
+        golden = _trajectory(results["naive"][0])
+        for mode in ("per-rule", "trie"):
+            assert _trajectory(results[mode][0]) == golden, (model, mode)
 
-        naive_search = naive_result.runner_report.search_seconds
-        vm_search = vm_result.runner_report.search_seconds
-        n_iters = vm_result.runner_report.num_iterations
-        delta_iters = sum(1 for it in vm_result.runner_report.iterations if not it.full_search)
+        reports = {mode: results[mode][0].runner_report for mode in MODES}
+        search = {mode: reports[mode].search_seconds for mode in MODES}
+        n_iters = reports["trie"].num_iterations
+        delta_iters = sum(1 for it in reports["trie"].iterations if not it.full_search)
 
-        # One-shot comparison on the saturated e-graph.
-        optimizer = TensatOptimizer(config=TensatConfig(matcher="vm", **BENCH_CONFIG))
+        # One-shot comparison on the saturated e-graph (no delta seeding).
+        optimizer = TensatOptimizer(config=TensatConfig(**MODES["trie"], **BENCH_CONFIG))
         egraph, _root, _filter, _report = optimizer.explore(build_model(model, scale))
-        naive_shot = _one_shot_search_seconds(egraph, use_vm=False)
-        vm_shot = _one_shot_search_seconds(egraph, use_vm=True)
+        trie_matcher = TrieMatcher(patterns)
+
+        def _per_rule_sweep(eg):
+            for pattern in patterns:
+                search_pattern(eg, pattern)
+
+        def _naive_sweep(eg):
+            for pattern in patterns:
+                naive_search_pattern(eg, pattern)
+
+        shots = {
+            "naive": _one_shot_seconds(egraph, _naive_sweep),
+            "per-rule": _one_shot_seconds(egraph, _per_rule_sweep),
+            "trie": _one_shot_seconds(egraph, lambda eg: trie_matcher.search_all(eg)),
+        }
 
         rows.append(
             [
                 model,
                 n_iters,
                 delta_iters,
-                f"{naive_search * 1000:.1f}",
-                f"{vm_search * 1000:.1f}",
-                f"{naive_search / max(vm_search, 1e-9):.2f}x",
-                f"{naive_shot * 1000:.1f}",
-                f"{vm_shot * 1000:.1f}",
-                f"{naive_shot / max(vm_shot, 1e-9):.2f}x",
+                f"{search['naive'] * 1000:.1f}",
+                f"{search['per-rule'] * 1000:.1f}",
+                f"{search['trie'] * 1000:.1f}",
+                f"{search['naive'] / max(search['trie'], 1e-9):.2f}x",
+                f"{search['per-rule'] / max(search['trie'], 1e-9):.2f}x",
+                f"{reports['trie'].apply_seconds * 1000:.1f}",
+                f"{reports['trie'].rebuild_seconds * 1000:.1f}",
+            ]
+        )
+        shot_rows.append(
+            [
+                model,
+                f"{shots['naive'] * 1000:.1f}",
+                f"{shots['per-rule'] * 1000:.1f}",
+                f"{shots['trie'] * 1000:.1f}",
+                f"{shots['naive'] / max(shots['per-rule'], 1e-9):.2f}x",
+                f"{shots['per-rule'] / max(shots['trie'], 1e-9):.2f}x",
             ]
         )
         data[model] = {
             "scale": scale,
             "iterations": n_iters,
             "delta_iterations": delta_iters,
-            "naive_search_seconds": naive_search,
-            "vm_search_seconds": vm_search,
-            "exploration_search_speedup": naive_search / max(vm_search, 1e-9),
-            "naive_one_shot_seconds": naive_shot,
-            "vm_one_shot_seconds": vm_shot,
-            "one_shot_speedup": naive_shot / max(vm_shot, 1e-9),
+            "search_seconds": {mode: search[mode] for mode in MODES},
+            "apply_seconds": {mode: reports[mode].apply_seconds for mode in MODES},
+            "rebuild_seconds": {mode: reports[mode].rebuild_seconds for mode in MODES},
+            "exploration_search_speedup": search["naive"] / max(search["per-rule"], 1e-9),
+            "trie_exploration_search_speedup": search["per-rule"] / max(search["trie"], 1e-9),
+            "one_shot_seconds": shots,
+            "one_shot_speedup": shots["naive"] / max(shots["per-rule"], 1e-9),
+            "trie_one_shot_speedup": shots["per-rule"] / max(shots["trie"], 1e-9),
             "per_iteration_search_ms": {
-                "naive": [it.search_seconds * 1000 for it in naive_result.runner_report.iterations],
-                "vm": [it.search_seconds * 1000 for it in vm_result.runner_report.iterations],
+                mode: [it.search_seconds * 1000 for it in reports[mode].iterations]
+                for mode in MODES
             },
-            "naive_total_seconds": naive_total,
-            "vm_total_seconds": vm_total,
+            "total_seconds": {mode: results[mode][1] for mode in MODES},
         }
 
     table = format_table(
@@ -135,15 +173,32 @@ def _generate_bench_ematch():
             "iters",
             "delta iters",
             "naive search (ms)",
-            "VM search (ms)",
-            "speedup",
-            "naive 1-shot (ms)",
-            "VM 1-shot (ms)",
-            "1-shot speedup",
+            "per-rule search (ms)",
+            "trie search (ms)",
+            "trie vs naive",
+            "trie vs per-rule",
+            "apply (ms)",
+            "rebuild (ms)",
         ],
         rows,
     )
-    write_result("bench_ematch", table, data)
+    shot_table = format_table(
+        [
+            "model",
+            "naive 1-shot (ms)",
+            "per-rule 1-shot (ms)",
+            "trie 1-shot (ms)",
+            "VM vs naive",
+            "trie vs per-rule",
+        ],
+        shot_rows,
+    )
+    sharing_line = (
+        f"rule trie: {sharing['buckets']} op buckets, "
+        f"{sharing['insts_unshared']} -> {sharing['insts_shared']} instructions "
+        f"({sharing['insts_saved']} shared away)"
+    )
+    write_result("bench_ematch", table + "\n\n" + shot_table + "\n\n" + sharing_line, data)
     return data
 
 
@@ -151,9 +206,12 @@ def _generate_bench_ematch():
 def test_bench_ematch(benchmark):
     data = benchmark.pedantic(_generate_bench_ematch, rounds=1, iterations=1)
     for model in BENCH_MODELS:
-        # The compiled VM + delta search must reduce exploration search time.
+        # The compiled VM + delta search must reduce exploration search time,
+        # and merging the rule programs must beat running them one by one.
         assert data[model]["exploration_search_speedup"] > 1.0
+        assert data[model]["trie_exploration_search_speedup"] > 1.0
         assert data[model]["one_shot_speedup"] > 1.0
+        assert data[model]["trie_one_shot_speedup"] > 1.0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,13 @@ import time
 from typing import Optional, Sequence
 
 from repro.core import TensatConfig, TensatOptimizer
+from repro.core.config import (
+    CYCLE_FILTER_CHOICES,
+    EXTRACTION_CHOICES,
+    MATCHER_CHOICES,
+    SCHEDULER_CHOICES,
+    SEARCH_MODE_CHOICES,
+)
 from repro.costs import AnalyticCostModel
 from repro.ir.serialize import save_graph
 from repro.models import MODEL_NAMES, build_model
@@ -25,6 +32,12 @@ from repro.rules import default_ruleset
 from repro.search import BacktrackingSearch
 
 __all__ = ["main", "build_parser"]
+
+
+#: Engine-knob defaults come from the config dataclass itself, so the CLI can
+#: never drift from what library users get (choices likewise come from
+#: core/config.py).
+_CONFIG_DEFAULTS = TensatConfig()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,9 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--k-multi", type=int, default=1, help="iterations of multi-pattern rewrites")
     opt.add_argument("--node-limit", type=int, default=5_000)
     opt.add_argument("--iter-limit", type=int, default=8)
-    opt.add_argument("--extraction", choices=("ilp", "greedy"), default="ilp")
+    opt.add_argument("--extraction", choices=EXTRACTION_CHOICES, default="ilp")
     opt.add_argument("--ilp-time-limit", type=float, default=60.0)
-    opt.add_argument("--cycle-filter", choices=("efficient", "vanilla", "none"), default="efficient")
+    opt.add_argument("--cycle-filter", choices=CYCLE_FILTER_CHOICES, default="efficient")
+    opt.add_argument(
+        "--matcher", choices=MATCHER_CHOICES, default=_CONFIG_DEFAULTS.matcher,
+        help="e-matcher: compiled VM or the naive interpretive reference",
+    )
+    opt.add_argument(
+        "--search-mode", choices=SEARCH_MODE_CHOICES, default=_CONFIG_DEFAULTS.search_mode,
+        help="VM search organisation: shared-prefix rule trie or per-rule programs",
+    )
+    opt.add_argument(
+        "--scheduler", choices=SCHEDULER_CHOICES, default=_CONFIG_DEFAULTS.scheduler,
+        help="rule scheduling: every rule every iteration, or egg-style backoff",
+    )
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
 
@@ -70,6 +95,9 @@ def _config_from_args(args) -> TensatConfig:
         ilp_time_limit=args.ilp_time_limit,
         cycle_filter=cycle_filter,
         ilp_cycle_constraints=(cycle_filter == "none"),
+        matcher=args.matcher,
+        search_mode=args.search_mode,
+        scheduler=args.scheduler,
     )
 
 

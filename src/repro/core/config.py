@@ -5,7 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["TensatConfig"]
+__all__ = [
+    "TensatConfig",
+    "MATCHER_CHOICES",
+    "SCHEDULER_CHOICES",
+    "SEARCH_MODE_CHOICES",
+    "CYCLE_FILTER_CHOICES",
+    "EXTRACTION_CHOICES",
+]
+
+#: Valid values for the corresponding knobs; the CLI imports these so its
+#: ``choices=`` lists can never drift from the config validation.
+MATCHER_CHOICES = ("vm", "naive")
+SCHEDULER_CHOICES = ("simple", "backoff")
+SEARCH_MODE_CHOICES = ("trie", "per-rule")
+CYCLE_FILTER_CHOICES = ("efficient", "vanilla", "none")
+EXTRACTION_CHOICES = ("ilp", "greedy")
 
 
 @dataclass(frozen=True)
@@ -45,6 +60,12 @@ class TensatConfig:
     #: (the interpretive reference matcher).  Both yield identical match
     #: lists; "naive" exists for regression testing and benchmarking.
     matcher: str = "vm"
+    #: How the VM matcher organises each iteration's search: "trie" (default)
+    #: merges every rule program into one shared-prefix trie per root operator
+    #: and matches all rules in a single traversal per op bucket; "per-rule"
+    #: runs each rule's own compiled program.  Ignored when matcher="naive".
+    #: All settings yield identical match lists and saturation trajectories.
+    search_mode: str = "trie"
     #: Seed each exploration iteration's search from the e-classes dirtied by
     #: the previous iteration ("vm" only); iteration 0 is always a full search.
     delta_matching: bool = True
@@ -83,13 +104,15 @@ class TensatConfig:
     verify_numerically: bool = False
 
     def __post_init__(self) -> None:
-        if self.extraction not in ("ilp", "greedy"):
+        if self.extraction not in EXTRACTION_CHOICES:
             raise ValueError(f"extraction must be 'ilp' or 'greedy', got {self.extraction!r}")
-        if self.scheduler not in ("simple", "backoff"):
+        if self.scheduler not in SCHEDULER_CHOICES:
             raise ValueError(f"scheduler must be 'simple' or 'backoff', got {self.scheduler!r}")
-        if self.matcher not in ("vm", "naive"):
+        if self.matcher not in MATCHER_CHOICES:
             raise ValueError(f"matcher must be 'vm' or 'naive', got {self.matcher!r}")
-        if self.cycle_filter not in ("efficient", "vanilla", "none"):
+        if self.search_mode not in SEARCH_MODE_CHOICES:
+            raise ValueError(f"search_mode must be 'trie' or 'per-rule', got {self.search_mode!r}")
+        if self.cycle_filter not in CYCLE_FILTER_CHOICES:
             raise ValueError(
                 f"cycle_filter must be 'efficient', 'vanilla' or 'none', got {self.cycle_filter!r}"
             )

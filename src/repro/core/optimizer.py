@@ -107,6 +107,7 @@ class TensatOptimizer:
             match_limit=config.scheduler_match_limit,
             ban_length=config.scheduler_ban_length,
             matcher=config.matcher,
+            search_mode=config.search_mode,
             use_delta=config.delta_matching,
         )
         runner = Runner(

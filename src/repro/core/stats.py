@@ -23,6 +23,12 @@ class OptimizationStats:
     extraction_seconds: float = 0.0
     total_seconds: float = 0.0
 
+    #: Exploration broken into the pipeline's phases: searching for matches,
+    #: planning + applying them, and flushing unions / restoring congruence.
+    search_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
+
     exploration_iterations: int = 0
     stop_reason: str = ""
     num_enodes: int = 0
@@ -47,6 +53,9 @@ class OptimizationStats:
     def from_runner_report(cls, report: RunnerReport) -> "OptimizationStats":
         stats = cls(
             exploration_seconds=report.total_seconds,
+            search_seconds=report.search_seconds,
+            apply_seconds=report.apply_seconds,
+            rebuild_seconds=report.rebuild_seconds,
             exploration_iterations=report.num_iterations,
             stop_reason=report.stop_reason.value,
             num_enodes=report.n_enodes,
@@ -59,6 +68,9 @@ class OptimizationStats:
     def as_dict(self) -> Dict[str, object]:
         return {
             "exploration_seconds": round(self.exploration_seconds, 4),
+            "search_seconds": round(self.search_seconds, 4),
+            "apply_seconds": round(self.apply_seconds, 4),
+            "rebuild_seconds": round(self.rebuild_seconds, 4),
             "extraction_seconds": round(self.extraction_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
             "iterations": self.exploration_iterations,

@@ -13,26 +13,44 @@ paper builds on top of ``egg`` (Willsey et al., 2020):
   incremental (iteration-delta) search; see ``docs/ematching.md``.
 * :mod:`repro.egraph.rewrite`      -- single-pattern rewrite rules.
 * :mod:`repro.egraph.multipattern` -- multi-pattern rewrite rules (paper Algorithm 1).
-* :mod:`repro.egraph.runner`       -- the saturation loop with limits and cycle filtering.
+* :mod:`repro.egraph.applier`      -- batched apply plans (dedup, bulk add, queued
+  unions, one rebuild per phase); see ``docs/apply_plan.md``.
+* :mod:`repro.egraph.scheduler`    -- rule scheduling strategies (simple, backoff).
+* :mod:`repro.egraph.runner`       -- the search -> schedule -> plan -> apply -> rebuild
+  saturation pipeline with limits and cycle filtering.
 * :mod:`repro.egraph.cycles`       -- vanilla and efficient cycle filtering (paper Algorithm 2).
 * :mod:`repro.egraph.extraction`   -- greedy and ILP extraction.
 """
 
+from repro.egraph.applier import ApplyPlan, ApplyStats
 from repro.egraph.egraph import EClass, EGraph
 from repro.egraph.language import ENode, RecExpr
-from repro.egraph.machine import IncrementalMatcher, Program, compile_pattern
+from repro.egraph.machine import (
+    IncrementalMatcher,
+    Program,
+    RuleTrie,
+    TrieMatcher,
+    build_rule_trie,
+    compile_pattern,
+)
 from repro.egraph.pattern import Pattern, PatternNode, PatternVar
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.multipattern import MultiPatternRewrite
 from repro.egraph.runner import Runner, RunnerLimits, RunnerReport, StopReason
+from repro.egraph.scheduler import BackoffScheduler, Scheduler, SimpleScheduler, make_scheduler
 from repro.egraph.unionfind import UnionFind
 
 __all__ = [
+    "ApplyPlan",
+    "ApplyStats",
     "EClass",
     "EGraph",
     "ENode",
     "IncrementalMatcher",
     "Program",
+    "RuleTrie",
+    "TrieMatcher",
+    "build_rule_trie",
     "compile_pattern",
     "RecExpr",
     "Pattern",
@@ -44,5 +62,9 @@ __all__ = [
     "RunnerLimits",
     "RunnerReport",
     "StopReason",
+    "Scheduler",
+    "SimpleScheduler",
+    "BackoffScheduler",
+    "make_scheduler",
     "UnionFind",
 ]

@@ -64,6 +64,8 @@ class EGraph:
         # E-classes touched (created or merged into) since the last take_dirty();
         # the compiled matcher seeds incremental searches from this set.
         self._dirty: Set[int] = set()
+        # Unions queued by union_deferred(); applied by flush_deferred_unions().
+        self._deferred_unions: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -182,6 +184,32 @@ class EGraph:
             self._analysis_pending.append(new_root)
         self.analysis.modify(self, new_root)
         return new_root
+
+    # ------------------------------------------------------------------ #
+    # Deferred unions (batched apply support)
+    # ------------------------------------------------------------------ #
+
+    def union_deferred(self, a: int, b: int) -> None:
+        """Queue ``union(a, b)`` without performing it.
+
+        The apply phase of the saturation pipeline adds every planned RHS
+        against a *frozen* union-find and queues the equivalences here;
+        :meth:`flush_deferred_unions` applies them in one batch ahead of the
+        phase's single :meth:`rebuild`.
+        """
+        self._deferred_unions.append((a, b))
+
+    @property
+    def num_deferred_unions(self) -> int:
+        return len(self._deferred_unions)
+
+    def flush_deferred_unions(self) -> int:
+        """Apply all queued unions; returns the number that merged distinct classes."""
+        pending, self._deferred_unions = self._deferred_unions, []
+        before = self._n_unions
+        for a, b in pending:
+            self.union(a, b)
+        return self._n_unions - before
 
     # ------------------------------------------------------------------ #
     # Rebuilding (congruence closure restoration)
@@ -303,15 +331,6 @@ class EGraph:
     def dirty_classes(self) -> Set[int]:
         """Canonical e-classes touched since the last :meth:`take_dirty`."""
         return {self.find(c) for c in self._dirty}
-
-    @property
-    def dirty_size(self) -> int:
-        """Raw size of the dirty set.
-
-        The set only grows between :meth:`take_dirty` calls, so this is a
-        cheap change stamp: an unchanged size means an unchanged set.
-        """
-        return len(self._dirty)
 
     def take_dirty(self) -> Set[int]:
         """Return the dirty set and reset it (one exploration iteration's delta)."""

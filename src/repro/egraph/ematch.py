@@ -4,19 +4,23 @@ Given a pattern ``l`` (a term with variables) and an e-graph, e-matching finds
 all substitutions ``sigma`` (variable -> e-class) and root e-classes such that
 ``l[sigma]`` is represented by the root e-class (paper Section 2.2).
 
-Two matchers live behind the same interface:
+Three search paths live behind the same contract:
 
 * the **compiled virtual machine** (:mod:`repro.egraph.machine`), which runs a
-  flat per-pattern instruction program over explicit registers -- this is the
-  default used by :func:`search_pattern` / :func:`search_eclass`;
+  flat per-pattern instruction program over explicit registers -- this is what
+  :func:`search_pattern` / :func:`search_eclass` use;
+* the **shared-prefix rule trie** (:class:`~repro.egraph.machine.TrieMatcher`),
+  which merges every rule's program into one trie per root operator and
+  matches all rules in a single traversal per op bucket -- the saturation
+  runner's default search mode;
 * the **naive backtracking matcher** (:func:`naive_search_pattern` /
   :func:`naive_search_eclass`), the original interpretive implementation that
   re-walks the pattern tree through recursive generators.  It is kept as the
   executable specification: the equivalence tests and ``benchmarks/
-  bench_ematch.py`` check the VM against it.
+  bench_ematch.py`` check the compiled paths against it.
 
-Both return the same canonical match sets in the same deterministic order
-(sorted by root e-class, then bindings), so they are interchangeable
+All three return the same canonical match sets in the same deterministic
+order (sorted by root e-class, then bindings), so they are interchangeable
 trajectory-for-trajectory in the saturation runner.
 """
 

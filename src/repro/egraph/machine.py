@@ -41,13 +41,26 @@ parent hops, where ``depth`` is the pattern's operator depth.  Because
 e-graphs grow monotonically, old matches never disappear (they only
 canonicalise), so ``cached ∪ re-search(closure)`` equals a full search; see
 ``docs/ematching.md`` for the argument.
+
+Shared-prefix rule trie
+-----------------------
+
+:func:`build_rule_trie` merges the compiled programs of *all* single-pattern
+rules into one trie per root operator: programs whose instruction prefixes
+coincide (compilation is deterministic, so structurally identical pattern
+prefixes compile identically) share the corresponding ``Bind``/``Compare``/
+``Lookup`` work, and ``Yield`` leaves carry rule ids.  One traversal of each
+op-index bucket then produces ``(rule_id, match)`` pairs for every rule at
+once, replacing R independent VM sweeps.  :class:`TrieMatcher` is the
+bucket-level analogue of :class:`IncrementalMatcher`: per-rule caches merged
+with a re-search of each bucket's delta closure.
 """
 
 from __future__ import annotations
 
 import weakref
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.egraph.egraph import EGraph
@@ -62,6 +75,9 @@ __all__ = [
     "delta_closure",
     "IncrementalMatcher",
     "match_sort_key",
+    "RuleTrie",
+    "build_rule_trie",
+    "TrieMatcher",
 ]
 
 # Opcodes (tuples keep the program flat and cheap to execute).
@@ -385,3 +401,239 @@ class IncrementalMatcher:
         result = [merged[key] for key in sorted(merged)]
         self._matches = result
         return list(result)
+
+
+# --------------------------------------------------------------------- #
+# Shared-prefix rule trie
+# --------------------------------------------------------------------- #
+
+
+class _TrieNode:
+    """One instruction in a combined rule program, plus its continuations."""
+
+    __slots__ = ("inst", "children", "yields")
+
+    def __init__(self, inst: tuple) -> None:
+        self.inst = inst
+        self.children: List["_TrieNode"] = []
+        # Populated on Yield nodes only: (rule_id, names, registers).
+        self.yields: List[Tuple[int, Tuple[str, ...], Tuple[int, ...]]] = []
+
+
+@dataclass
+class _TrieBucket:
+    """All rule programs sharing one root operator, merged into a trie."""
+
+    root_op: str
+    children: List[_TrieNode] = field(default_factory=list)
+    n_regs: int = 1
+    #: Max operator depth across the bucket's patterns; the delta closure must
+    #: climb this many parent hops (a superset per rule is sound: see docs).
+    depth: int = 0
+    rule_ids: List[int] = field(default_factory=list)
+    n_insts: int = 0  # trie nodes after prefix sharing
+    n_insts_unshared: int = 0  # sum of the per-rule program lengths
+
+
+@dataclass
+class RuleTrie:
+    """Every rule's compiled program, bucketed by root op with shared prefixes."""
+
+    n_rules: int
+    buckets: Dict[str, _TrieBucket]
+    #: Degenerate variable-root rules: (rule_id, variable name).  They match
+    #: every e-class, so they are answered by a single scan, not the trie.
+    var_rules: List[Tuple[int, str]]
+
+    def sharing_stats(self) -> Dict[str, int]:
+        """How many instructions prefix sharing eliminated."""
+        shared = sum(b.n_insts for b in self.buckets.values())
+        unshared = sum(b.n_insts_unshared for b in self.buckets.values())
+        return {
+            "buckets": len(self.buckets),
+            "insts_unshared": unshared,
+            "insts_shared": shared,
+            "insts_saved": unshared - shared,
+        }
+
+
+def build_rule_trie(patterns: Sequence[Pattern]) -> RuleTrie:
+    """Merge the compiled programs of ``patterns`` (indexed by rule id).
+
+    Compilation is deterministic (breadth-first, registers allocated in
+    instruction order), so two patterns with a common structural prefix
+    compile to programs with an identical instruction prefix; the trie merges
+    exactly those.  Register indices stay valid because every root-to-leaf
+    path reproduces one rule's full program: allocation along the shared
+    prefix is the same for all rules below it.
+    """
+    buckets: Dict[str, _TrieBucket] = {}
+    var_rules: List[Tuple[int, str]] = []
+    for rule_id, pattern in enumerate(patterns):
+        program = compile_pattern(pattern)
+        if program.root_op is None:
+            var_rules.append((rule_id, pattern.root.name))  # type: ignore[union-attr]
+            continue
+        bucket = buckets.get(program.root_op)
+        if bucket is None:
+            bucket = buckets[program.root_op] = _TrieBucket(root_op=program.root_op)
+        bucket.rule_ids.append(rule_id)
+        bucket.n_regs = max(bucket.n_regs, program.n_regs)
+        bucket.depth = max(bucket.depth, program.depth)
+        bucket.n_insts_unshared += len(program.insts)
+
+        children = bucket.children
+        for inst in program.insts[:-1]:
+            for child in children:
+                if child.inst == inst:
+                    node = child
+                    break
+            else:
+                node = _TrieNode(inst)
+                children.append(node)
+                bucket.n_insts += 1
+            children = node.children
+
+        yield_inst = program.insts[-1]  # every program ends in Yield
+        for child in children:
+            if child.inst[0] == YIELD:
+                ynode = child
+                break
+        else:
+            ynode = _TrieNode((YIELD,))
+            children.append(ynode)
+            bucket.n_insts += 1
+        ynode.yields.append((rule_id, yield_inst[1], yield_inst[2]))
+    return RuleTrie(n_rules=len(patterns), buckets=buckets, var_rules=var_rules)
+
+
+def _run_trie_class(egraph: EGraph, bucket: _TrieBucket, eclass_id: int, emit) -> None:
+    """Run every program of ``bucket`` rooted at ``eclass_id`` in one traversal."""
+    find = egraph.find
+    regs: List[int] = [0] * bucket.n_regs
+    regs[0] = find(eclass_id)
+
+    def run(node: _TrieNode) -> None:
+        inst = node.inst
+        code = inst[0]
+        if code == BIND:
+            op, arity, in_reg, out = inst[1], inst[2], inst[3], inst[4]
+            for enode in egraph[regs[in_reg]].nodes:
+                if enode.op == op and len(enode.children) == arity:
+                    for i, child_class in enumerate(enode.children):
+                        regs[out + i] = find(child_class)
+                    for child in node.children:
+                        run(child)
+        elif code == COMPARE:
+            if find(regs[inst[1]]) == find(regs[inst[2]]):
+                for child in node.children:
+                    run(child)
+        elif code == LOOKUP:
+            if _ground_lookup_ok(egraph, inst[1], regs[inst[2]]):
+                for child in node.children:
+                    run(child)
+        else:  # YIELD leaf: emit one substitution per rule ending here.
+            for rule_id, names, rregs in node.yields:
+                emit(rule_id, {name: find(regs[r]) for name, r in zip(names, rregs)})
+
+    for child in bucket.children:
+        run(child)
+
+
+def trie_search_classes(
+    egraph: EGraph, bucket: _TrieBucket, classes: Sequence[int], out: Dict[int, list]
+) -> None:
+    """Search ``classes`` with ``bucket``, appending matches into ``out[rule_id]``.
+
+    Deduplication is per ``(rule, root class)``, mirroring the per-program
+    collection in :func:`vm_search_classes`; callers sort each rule's list
+    with :func:`match_sort_key` afterwards.
+    """
+    from repro.egraph.ematch import Match  # local import: ematch imports us
+
+    for eclass_id in classes:
+        root = egraph.find(eclass_id)
+        seen: Set[tuple] = set()
+
+        def emit(rule_id: int, subst: Dict[str, int], _root=root, _seen=seen) -> None:
+            key = (rule_id, tuple(sorted(subst.items())))
+            if key in _seen:
+                return
+            _seen.add(key)
+            out[rule_id].append(Match(eclass=_root, subst=subst))
+
+        _run_trie_class(egraph, bucket, root, emit)
+
+
+class TrieMatcher:
+    """Incremental matcher for *all* single-pattern rules at once.
+
+    ``search_all(egraph)`` walks each op bucket's trie over that op's
+    candidate classes and returns one deterministically ordered match list
+    per rule -- identical, rule for rule, to running each pattern's own
+    program (and to the naive matcher).  ``search_all(egraph, delta=...)``
+    re-searches only each bucket's delta closure and merges with the
+    per-rule caches, exactly like :class:`IncrementalMatcher` but with the
+    closure walk and candidate scan paid once per bucket instead of once per
+    rule.
+    """
+
+    def __init__(self, patterns: Sequence[Pattern]) -> None:
+        self.patterns = list(patterns)
+        self.trie = build_rule_trie(self.patterns)
+        self._egraph_ref: Optional[weakref.ref] = None
+        self._cache: Optional[List[list]] = None
+
+    def reset(self) -> None:
+        self._egraph_ref = None
+        self._cache = None
+
+    def _var_rule_matches(self, egraph: EGraph, name: str) -> list:
+        from repro.egraph.ematch import Match
+
+        matches = [Match(eclass=c.id, subst={name: c.id}) for c in egraph.classes()]
+        matches.sort(key=match_sort_key)
+        return matches
+
+    def search_all(self, egraph: EGraph, delta: Optional[Set[int]] = None) -> List[list]:
+        if self._egraph_ref is None or self._egraph_ref() is not egraph:
+            self._cache = None
+            self._egraph_ref = weakref.ref(egraph)
+
+        n = len(self.patterns)
+        if delta is None or self._cache is None:
+            per_rule: Dict[int, list] = {i: [] for i in range(n)}
+            for op, bucket in self.trie.buckets.items():
+                candidates = sorted(egraph.classes_with_op(op))
+                trie_search_classes(egraph, bucket, candidates, per_rule)
+            for i in range(n):
+                per_rule[i].sort(key=match_sort_key)
+            for rule_id, name in self.trie.var_rules:
+                per_rule[rule_id] = self._var_rule_matches(egraph, name)
+            self._cache = [per_rule[i] for i in range(n)]
+            return [list(m) for m in self._cache]
+
+        # Delta path: one closure walk per distinct bucket depth.
+        fresh: Dict[int, list] = {i: [] for i in range(n)}
+        closures: Dict[int, Set[int]] = {}
+        for op, bucket in self.trie.buckets.items():
+            closure = closures.get(bucket.depth)
+            if closure is None:
+                closure = closures[bucket.depth] = delta_closure(egraph, delta, bucket.depth)
+            candidates = sorted(c for c in egraph.classes_with_op(op) if c in closure)
+            if candidates:
+                trie_search_classes(egraph, bucket, candidates, fresh)
+
+        results: List[list] = []
+        for i in range(n):
+            merged: Dict[tuple, object] = {}
+            for match in self._cache[i]:
+                canon = match.canonical(egraph)
+                merged[match_sort_key(canon)] = canon
+            for match in fresh[i]:
+                merged[match_sort_key(match)] = match
+            results.append([merged[key] for key in sorted(merged)])
+        for rule_id, name in self.trie.var_rules:
+            results[rule_id] = self._var_rule_matches(egraph, name)
+        self._cache = results
+        return [list(m) for m in results]

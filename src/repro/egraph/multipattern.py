@@ -82,6 +82,15 @@ class MultiPatternRewrite:
         # pattern, so this is paid once per distinct pattern).
         for p in self.sources:
             p.compile()
+        # Cached for the apply planner: the variables the targets consume, in
+        # a deterministic order (cycle-filter leaves and the dedup key).
+        target_vars: List[str] = []
+        for target in self.targets:
+            for name in target.variables():
+                if name not in target_vars:
+                    target_vars.append(name)
+        self.target_variables: Tuple[str, ...] = tuple(target_vars)
+        self.targets_key: Tuple[str, ...] = tuple(str(t) for t in self.targets)
 
     @classmethod
     def parse(
@@ -166,12 +175,22 @@ class MultiPatternRewrite:
 
     def apply_match(self, egraph: EGraph, multi: MultiMatch) -> bool:
         """Instantiate every target output and union it with its matched output."""
-        grew = False
         before = egraph.num_unions
         for target, matched_class in zip(self.targets, multi.eclasses):
             added = target.instantiate(egraph, multi.subst)
             egraph.union(matched_class, added)
         return egraph.num_unions != before
+
+    def apply_deferred(self, egraph: EGraph, multi: MultiMatch, ground_memo: Optional[dict] = None) -> None:
+        """Batched-apply entry point: add every target now, queue the unions.
+
+        See :meth:`Rewrite.apply_deferred`; the unions land in one
+        :meth:`EGraph.flush_deferred_unions` batch before the apply phase's
+        single rebuild.
+        """
+        for target, matched_class in zip(self.targets, multi.eclasses):
+            added = target.instantiate(egraph, multi.subst, ground_memo=ground_memo)
+            egraph.union_deferred(matched_class, added)
 
     def __str__(self) -> str:
         srcs = ", ".join(str(p) for p in self.sources)

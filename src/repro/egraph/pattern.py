@@ -183,19 +183,41 @@ class Pattern:
     # Instantiation
     # ------------------------------------------------------------------ #
 
-    def instantiate(self, egraph, subst: Substitution) -> int:
-        """Add this pattern to ``egraph`` under ``subst`` and return the root e-class."""
+    def instantiate(
+        self,
+        egraph,
+        subst: Substitution,
+        ground_memo: Optional[Dict[PatternNode, int]] = None,
+    ) -> int:
+        """Add this pattern to ``egraph`` under ``subst`` and return the root e-class.
 
-        def go(term: PatternTerm) -> int:
+        ``ground_memo`` optionally caches the e-class of every *ground*
+        sub-term (no variables below it) across instantiations.  A batched
+        apply plan shares one memo for a whole apply phase -- ground
+        sub-terms recur across matches and rules, and while unions are
+        deferred the cached ids stay canonical -- turning repeated hash-cons
+        descents into single dict hits.  (Hash-consing makes repeated adds
+        no-ops anyway, so the memo never changes the resulting e-graph.)
+        """
+
+        def go(term: PatternTerm) -> Tuple[int, bool]:
             if isinstance(term, PatternVar):
                 try:
-                    return subst[term.name]
+                    return subst[term.name], False
                 except KeyError as exc:
                     raise KeyError(f"substitution missing variable ?{term.name}") from exc
-            child_ids = tuple(go(c) for c in term.children)
-            return egraph.add(ENode(term.op, child_ids))
+            if ground_memo is not None:
+                hit = ground_memo.get(term)
+                if hit is not None:
+                    return hit, True
+            results = [go(c) for c in term.children]
+            eclass = egraph.add(ENode(term.op, tuple(r[0] for r in results)))
+            ground = all(r[1] for r in results)
+            if ground and ground_memo is not None:
+                ground_memo[term] = eclass
+            return eclass, ground
 
-        return go(self.root)
+        return go(self.root)[0]
 
     def preview_enodes(self, subst: Substitution) -> List[ENode]:
         """E-nodes that *would* be created by :meth:`instantiate` (bottom-up order).

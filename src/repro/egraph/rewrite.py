@@ -43,6 +43,10 @@ class Rewrite:
         # Compile the source pattern once, at rule-construction time; the
         # program is cached on the pattern, so every search reuses it.
         self.program = self.lhs.compile()
+        # Cached for the apply planner: leaves checked by cycle filtering and
+        # the identity/variables that determine the RHS instantiation (dedup key).
+        self.rhs_variables: Tuple[str, ...] = tuple(self.rhs.variables())
+        self.rhs_key: str = str(self.rhs)
 
     @classmethod
     def parse(
@@ -86,6 +90,18 @@ class Rewrite:
         root = egraph.union(match.eclass, added)
         grew = egraph.num_unions != before
         return root, grew
+
+    def apply_deferred(self, egraph: EGraph, match: Match, ground_memo: Optional[dict] = None) -> int:
+        """Batched-apply entry point: add the RHS now, queue the union.
+
+        Used by :class:`~repro.egraph.applier.ApplyPlan`: all additions of an
+        apply phase run against a frozen union-find and the equivalences are
+        applied in one :meth:`EGraph.flush_deferred_unions` batch before the
+        phase's single rebuild.  Returns the e-class of the added RHS.
+        """
+        added = self.rhs.instantiate(egraph, match.subst, ground_memo=ground_memo)
+        egraph.union_deferred(match.eclass, added)
+        return added
 
     def run(self, egraph: EGraph) -> int:
         """Search then apply everywhere; returns the number of applications that changed the e-graph."""

@@ -7,9 +7,29 @@ The runner repeatedly searches and applies rewrite rules until one of:
 * an iteration limit is reached (paper: ``k_max = 15``),
 * a wall-clock time limit is reached.
 
+Each iteration is a deterministic **search -> schedule -> plan -> apply ->
+rebuild** pipeline:
+
+1. **search** -- every rule's source pattern is matched against the *frozen*
+   e-graph (no mutation interleaves with matching).  Three search paths exist
+   behind one contract -- the naive interpretive matcher, the per-rule
+   compiled VM, and the shared-prefix rule trie -- and all three return
+   identical ordered match lists, so the trajectory is search-path-blind.
+2. **schedule** -- a :class:`~repro.egraph.scheduler.Scheduler` strategy
+   (simple or egg-style backoff) decides which rules' matches proceed.
+3. **plan** -- surviving matches are collected into an
+   :class:`~repro.egraph.applier.ApplyPlan`, which dedups identical RHS
+   instantiations.
+4. **apply** -- the plan executes in one pass: cycle-filter checks, bulk RHS
+   adds against a frozen union-find, unions queued.
+5. **rebuild** -- the queued unions are flushed and a single coordinated
+   :meth:`EGraph.rebuild` restores congruence; cycle post-processing runs on
+   the rebuilt graph.
+
 Multi-pattern rules grow the e-graph double-exponentially (paper Section 4),
 so they are only applied for the first ``k_multi`` iterations; afterwards only
-single-pattern rules run.
+single-pattern rules run.  Their plan entries precede the single-pattern
+entries so a node-limit truncation spends the ``k_multi`` budget first.
 
 Cycle filtering (paper Section 5.2) plugs in as a :class:`~repro.egraph.cycles.CycleFilter`
 strategy: a per-iteration setup hook, a per-match ``allows`` check, and a
@@ -23,12 +43,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.egraph.applier import ApplyPlan
 from repro.egraph.cycles import CycleFilter, EfficientCycleFilter, FilterList, NoCycleFilter, VanillaCycleFilter
 from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import naive_search_pattern
-from repro.egraph.machine import IncrementalMatcher
+from repro.egraph.machine import IncrementalMatcher, TrieMatcher
 from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
 from repro.egraph.rewrite import Rewrite
+from repro.egraph.scheduler import Scheduler, make_scheduler
 
 __all__ = ["StopReason", "IterationReport", "RunnerReport", "RunnerLimits", "Runner", "make_cycle_filter"]
 
@@ -56,8 +78,13 @@ class IterationReport:
     seconds: float = 0.0
     applied_multi: bool = False
     n_rules_banned: int = 0
-    #: Time spent searching for matches (as opposed to applying them).
+    #: Matches dropped by the apply planner as identical RHS instantiations.
+    n_deduped: int = 0
+    #: Pipeline phase timings: searching for matches, planning + applying
+    #: them, and flushing unions / restoring congruence.
     search_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
     #: True when this iteration searched the whole e-graph; False when the
     #: search was seeded from the previous iteration's delta.
     full_search: bool = True
@@ -76,6 +103,8 @@ class RunnerReport:
     n_eclasses: int = 0
     n_filtered: int = 0
     search_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
 
     @property
     def num_iterations(self) -> int:
@@ -87,6 +116,8 @@ class RunnerReport:
             "iterations": self.num_iterations,
             "seconds": round(self.total_seconds, 4),
             "search_seconds": round(self.search_seconds, 4),
+            "apply_seconds": round(self.apply_seconds, 4),
+            "rebuild_seconds": round(self.rebuild_seconds, 4),
             "enodes": self.n_enodes,
             "eclasses": self.n_eclasses,
             "filtered_nodes": self.n_filtered,
@@ -116,6 +147,11 @@ class RunnerLimits:
     #: or "naive" (the interpretive reference matcher).  Both produce the same
     #: match lists, so the exploration trajectory is identical.
     matcher: str = "vm"
+    #: How the VM organises the search: "trie" (default) merges all rule
+    #: programs into one shared-prefix trie per root operator and matches
+    #: every rule in a single traversal of each op bucket; "per-rule" runs
+    #: each rule's own program independently.  Ignored by the naive matcher.
+    search_mode: str = "trie"
     #: Seed each iteration's search from the e-classes dirtied by the previous
     #: one (VM only).  Iteration 0 always searches the full e-graph.
     use_delta: bool = True
@@ -167,18 +203,27 @@ class Runner:
         self.rewrites = list(rewrites)
         self.multi_rewrites = list(multi_rewrites)
         self.limits = limits if limits is not None else RunnerLimits()
-        if self.limits.scheduler not in ("simple", "backoff"):
-            raise ValueError(f"unknown scheduler {self.limits.scheduler!r}; expected 'simple' or 'backoff'")
         if self.limits.matcher not in ("vm", "naive"):
             raise ValueError(f"unknown matcher {self.limits.matcher!r}; expected 'vm' or 'naive'")
+        if self.limits.search_mode not in ("trie", "per-rule"):
+            raise ValueError(
+                f"unknown search mode {self.limits.search_mode!r}; expected 'trie' or 'per-rule'"
+            )
+        # Raises on an unknown scheduler kind, same as the matcher checks.
+        self.scheduler: Scheduler = make_scheduler(
+            self.limits.scheduler, self.limits.match_limit, self.limits.ban_length
+        )
         self.cycle_filter = cycle_filter if cycle_filter is not None else NoCycleFilter()
         self._multi_searcher = MultiPatternSearcher(self.multi_rewrites) if self.multi_rewrites else None
-        # Backoff scheduler state, per single-pattern rule.
-        self._banned_until: Dict[int, int] = {}
-        self._times_banned: Dict[int, int] = {}
-        # One incremental matcher per single-pattern rule (compiled programs
-        # are shared through the per-pattern cache).
-        self._matchers: List[IncrementalMatcher] = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
+        # Compiled search state (VM only).  "trie": one shared-prefix trie
+        # matcher over all rules; "per-rule": one incremental matcher each.
+        self._trie_matcher: Optional[TrieMatcher] = None
+        self._matchers: List[IncrementalMatcher] = []
+        if self.limits.matcher == "vm":
+            if self.limits.search_mode == "trie":
+                self._trie_matcher = TrieMatcher([rw.lhs for rw in self.rewrites])
+            else:
+                self._matchers = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
         # E-classes dirtied by the previous iteration; None forces a full
         # search (iteration 0, naive matcher, or delta matching disabled).
         self._delta: Optional[Set[int]] = None
@@ -234,6 +279,8 @@ class Runner:
             n_eclasses=self.egraph.num_eclasses,
             n_filtered=len(self.filter_list),
             search_seconds=sum(r.search_seconds for r in reports),
+            apply_seconds=sum(r.apply_seconds for r in reports),
+            rebuild_seconds=sum(r.rebuild_seconds for r in reports),
         )
 
     # ------------------------------------------------------------------ #
@@ -245,108 +292,85 @@ class Runner:
         enodes_before = self.egraph.num_enodes
 
         use_vm = self.limits.matcher == "vm"
-        delta_base = self._delta if (use_vm and self.limits.use_delta) else None
-        if (
-            delta_base is not None
-            and len(delta_base) > self.limits.delta_full_fraction * max(1, self.egraph.num_eclasses)
-        ):
+        delta = self._delta if (use_vm and self.limits.use_delta) else None
+        if delta is not None and len(delta) > self.limits.delta_full_fraction * max(1, self.egraph.num_eclasses):
             # A union cascade touched most of the e-graph; the closure walk
             # would cost more than the full search it is meant to avoid.
-            delta_base = None
-        report.full_search = delta_base is None
-        report.n_delta_classes = -1 if delta_base is None else len(delta_base)
-
-        delta_cache: Dict[str, object] = {"stamp": -1, "value": None}
-
-        def effective_delta() -> Optional[Set[int]]:
-            # Rules applied earlier in this same iteration have already
-            # dirtied classes; including the live dirty set keeps each search
-            # equal to a full search at that point, so the delta path follows
-            # the exact same trajectory as the naive matcher.  The dirty set
-            # only grows within an iteration, so its size is a valid change
-            # stamp and quiescent rule tails reuse the previous union.
-            if delta_base is None:
-                return None
-            stamp = self.egraph.dirty_size
-            if delta_cache["stamp"] != stamp:
-                delta_cache["stamp"] = stamp
-                delta_cache["value"] = delta_base | self.egraph.dirty_classes()
-            return delta_cache["value"]
+            delta = None
+        report.full_search = delta is None
+        report.n_delta_classes = -1 if delta is None else len(delta)
 
         self.cycle_filter.begin_iteration(self.egraph)
 
-        # --- multi-pattern rules (first k_multi iterations only) -------- #
-        # They run before the single-pattern rules so that, when the node
-        # limit truncates an iteration, the k_multi budget of multi-pattern
-        # applications has already been spent on the still-compact e-graph.
+        # --- search phase: every rule matched against the frozen e-graph --- #
+        t_search = time.perf_counter()
+        multi_matches = []
         if self._multi_searcher is not None and iteration < self.limits.k_multi:
             report.applied_multi = True
-            t_search = time.perf_counter()
-            rule_matches = self._multi_searcher.search(
+            multi_matches = self._multi_searcher.search(
                 self.egraph,
                 self.limits.max_multi_combinations,
-                delta=effective_delta(),
+                delta=delta,
                 matcher=self.limits.matcher,
             )
-            report.search_seconds += time.perf_counter() - t_search
-            for rule, combos in rule_matches:
-                report.n_matches += len(combos)
-                needed_vars = set()
-                for target in rule.targets:
-                    needed_vars.update(target.variables())
-                for combo in combos:
-                    leaves = [combo.subst[v] for v in needed_vars if v in combo.subst]
-                    if not self.cycle_filter.allows(self.egraph, list(combo.eclasses), leaves):
-                        report.n_skipped_cycle += 1
-                        continue
-                    rule.apply_match(self.egraph, combo)
-                    report.n_applied += 1
-                    if self.egraph.num_enodes > self.limits.node_limit:
-                        break
-                if self.egraph.num_enodes > self.limits.node_limit:
-                    break
 
-        # --- single-pattern rules -------------------------------------- #
-        if self.egraph.num_enodes <= self.limits.node_limit:
-            for rule_index, rewrite in enumerate(self.rewrites):
-                if self.limits.scheduler == "backoff":
-                    if self._banned_until.get(rule_index, -1) > iteration:
-                        # The cached match set will be more than one delta
-                        # stale when the ban lifts; force a full re-search.
-                        self._matchers[rule_index].reset()
-                        report.n_rules_banned += 1
-                        continue
-                t_search = time.perf_counter()
-                if use_vm:
-                    raw = self._matchers[rule_index].search(self.egraph, delta=effective_delta())
-                else:
-                    raw = naive_search_pattern(self.egraph, rewrite.lhs)
-                matches = rewrite.filter_matches(self.egraph, raw)
-                report.search_seconds += time.perf_counter() - t_search
-                report.n_matches += len(matches)
-                if self.limits.scheduler == "backoff":
-                    times = self._times_banned.get(rule_index, 0)
-                    threshold = self.limits.match_limit * (2 ** times)
-                    if len(matches) > threshold:
-                        self._banned_until[rule_index] = iteration + self.limits.ban_length * (2 ** times)
-                        self._times_banned[rule_index] = times + 1
-                        report.n_rules_banned += 1
-                        continue
-                for match in matches:
-                    leaves = [match.subst[v] for v in rewrite.rhs.variables()]
-                    if not self.cycle_filter.allows(self.egraph, [match.eclass], leaves):
-                        report.n_skipped_cycle += 1
-                        continue
-                    rewrite.apply_match(self.egraph, match)
-                    report.n_applied += 1
-                    if self.egraph.num_enodes > self.limits.node_limit:
-                        break
-                if self.egraph.num_enodes > self.limits.node_limit:
-                    break
+        trie_results = None
+        if self._trie_matcher is not None and self.rewrites:
+            trie_results = self._trie_matcher.search_all(self.egraph, delta=delta)
 
+        # One ordered match list per rule; None marks a banned (unsearched) rule.
+        single_matches: List[Optional[list]] = []
+        for rule_index, rewrite in enumerate(self.rewrites):
+            if self.scheduler.is_banned(rule_index, iteration):
+                # A per-rule cache goes more than one delta stale while the
+                # rule is banned; force a full re-search when the ban lifts.
+                # The trie refreshes every rule's cache each iteration and the
+                # naive matcher keeps no cache, so neither needs the reset.
+                if self._matchers:
+                    self._matchers[rule_index].reset()
+                report.n_rules_banned += 1
+                single_matches.append(None)
+                continue
+            if trie_results is not None:
+                raw = trie_results[rule_index]
+            elif use_vm:
+                raw = self._matchers[rule_index].search(self.egraph, delta=delta)
+            else:
+                raw = naive_search_pattern(self.egraph, rewrite.lhs)
+            single_matches.append(rewrite.filter_matches(self.egraph, raw))
+        report.search_seconds = time.perf_counter() - t_search
+
+        # --- plan + apply phases: schedule, dedup, execute in one pass ---- #
+        t_apply = time.perf_counter()
+        plan = ApplyPlan()
+        for rule, combos in multi_matches:
+            report.n_matches += len(combos)
+            for combo in combos:
+                plan.add_multi(rule, combo)
+        for rule_index, matches in enumerate(single_matches):
+            if matches is None:
+                continue
+            report.n_matches += len(matches)
+            if not self.scheduler.admit_matches(rule_index, iteration, len(matches)):
+                report.n_rules_banned += 1
+                continue
+            rewrite = self.rewrites[rule_index]
+            for match in matches:
+                plan.add_rewrite(rewrite, match)
+
+        apply_stats = plan.execute(self.egraph, self.cycle_filter, node_limit=self.limits.node_limit)
+        report.n_applied = apply_stats.n_applied
+        report.n_skipped_cycle = apply_stats.n_skipped_cycle
+        report.n_deduped = apply_stats.n_deduped
+        report.apply_seconds = time.perf_counter() - t_apply
+
+        # --- rebuild phase: flush queued unions, one coordinated rebuild --- #
+        t_rebuild = time.perf_counter()
+        self.egraph.flush_deferred_unions()
         self.egraph.rebuild()
         report.n_cycles_resolved = self.cycle_filter.end_iteration(self.egraph)
         self.egraph.rebuild()
+        report.rebuild_seconds = time.perf_counter() - t_rebuild
 
         # Everything dirtied during this iteration (rule applications, repairs,
         # cycle resolution) seeds the next iteration's search.

@@ -1,0 +1,88 @@
+"""Rule schedulers: which single-pattern rules run in which iteration.
+
+The scheduling logic used to live inline in the runner's iteration loop.  It
+is now a strategy object consulted at two points of the pipeline:
+
+* **before search** -- :meth:`Scheduler.is_banned` decides whether a rule is
+  searched at all this iteration (a banned rule's matches are never even
+  computed on the per-rule paths; the trie path computes them as a byproduct
+  and discards them);
+* **after search, before planning** -- :meth:`Scheduler.admit_matches` sees
+  the rule's match count and either admits the matches into the apply plan
+  or bans the rule for upcoming iterations.
+
+Scheduling decisions depend only on iteration numbers and match counts, and
+every matcher produces identical match lists, so the schedule -- and with it
+the saturation trajectory -- is matcher-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Scheduler", "SimpleScheduler", "BackoffScheduler", "make_scheduler", "SCHEDULERS"]
+
+
+class Scheduler:
+    """Interface: decide which rules search and which matches get applied."""
+
+    name = "base"
+
+    def is_banned(self, rule_index: int, iteration: int) -> bool:
+        """True when ``rule_index`` must not run in ``iteration``."""
+        return False
+
+    def admit_matches(self, rule_index: int, iteration: int, n_matches: int) -> bool:
+        """Called once per searched rule per iteration with its match count.
+
+        Returns True to admit the matches into the apply plan; False drops
+        them (and typically records a ban for upcoming iterations).
+        """
+        return True
+
+
+class SimpleScheduler(Scheduler):
+    """The paper's behaviour: every rule fires every iteration."""
+
+    name = "simple"
+
+
+class BackoffScheduler(Scheduler):
+    """egg-style exponential backoff for match-count explosions.
+
+    A rule whose match count exceeds ``match_limit * 2**times_banned`` is
+    banned for ``ban_length * 2**times_banned`` iterations; both the
+    threshold and the ban double per offence.
+    """
+
+    name = "backoff"
+
+    def __init__(self, match_limit: int = 1_000, ban_length: int = 5) -> None:
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self._banned_until: Dict[int, int] = {}
+        self._times_banned: Dict[int, int] = {}
+
+    def is_banned(self, rule_index: int, iteration: int) -> bool:
+        return self._banned_until.get(rule_index, -1) > iteration
+
+    def admit_matches(self, rule_index: int, iteration: int, n_matches: int) -> bool:
+        times = self._times_banned.get(rule_index, 0)
+        threshold = self.match_limit * (2 ** times)
+        if n_matches > threshold:
+            self._banned_until[rule_index] = iteration + self.ban_length * (2 ** times)
+            self._times_banned[rule_index] = times + 1
+            return False
+        return True
+
+
+SCHEDULERS = ("simple", "backoff")
+
+
+def make_scheduler(kind: str, match_limit: int = 1_000, ban_length: int = 5) -> Scheduler:
+    """Factory mirroring :func:`~repro.egraph.runner.make_cycle_filter`."""
+    if kind == "simple":
+        return SimpleScheduler()
+    if kind == "backoff":
+        return BackoffScheduler(match_limit=match_limit, ban_length=ban_length)
+    raise ValueError(f"unknown scheduler {kind!r}; expected 'simple' or 'backoff'")

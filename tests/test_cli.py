@@ -19,6 +19,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["optimize", "--model", "alexnet"])
 
+    def test_engine_knob_defaults(self):
+        args = build_parser().parse_args(["optimize", "--model", "nasrnn"])
+        assert args.matcher == "vm"
+        assert args.search_mode == "trie"
+        assert args.scheduler == "simple"
+
+    def test_engine_knobs_parse(self):
+        args = build_parser().parse_args(
+            [
+                "optimize", "--model", "nasrnn",
+                "--matcher", "naive",
+                "--search-mode", "per-rule",
+                "--scheduler", "backoff",
+            ]
+        )
+        assert args.matcher == "naive"
+        assert args.search_mode == "per-rule"
+        assert args.scheduler == "backoff"
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--matcher", "regex"),
+        ("--search-mode", "hash"),
+        ("--scheduler", "adaptive"),
+    ])
+    def test_invalid_engine_knobs_rejected(self, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "--model", "nasrnn", flag, value])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -54,6 +82,33 @@ class TestCommands:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["speedup_percent"] >= 0
+        assert payload["enodes"] > 0
+        # The phase breakdown of exploration time is part of the JSON contract.
+        for key in ("search_seconds", "apply_seconds", "rebuild_seconds"):
+            assert key in payload
+            assert payload[key] >= 0
+        assert (
+            payload["search_seconds"] + payload["apply_seconds"] + payload["rebuild_seconds"]
+            <= payload["exploration_seconds"] + 1e-6
+        )
+
+    def test_optimize_with_engine_knobs(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--model", "nasrnn",
+                "--scale", "tiny",
+                "--node-limit", "800",
+                "--iter-limit", "3",
+                "--extraction", "greedy",
+                "--matcher", "naive",
+                "--search-mode", "per-rule",
+                "--scheduler", "backoff",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
         assert payload["enodes"] > 0
 
     def test_optimize_writes_graph_file(self, tmp_path, capsys):

@@ -38,6 +38,21 @@ class TestTensatConfig:
         with pytest.raises(ValueError):
             TensatConfig(ilp_backend="gurobi")
 
+    def test_invalid_engine_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(matcher="regex")
+        with pytest.raises(ValueError):
+            TensatConfig(search_mode="hash")
+        with pytest.raises(ValueError):
+            TensatConfig(scheduler="adaptive")
+
+    def test_engine_defaults(self):
+        cfg = TensatConfig()
+        assert cfg.matcher == "vm"
+        assert cfg.search_mode == "trie"
+        assert cfg.scheduler == "simple"
+        assert cfg.delta_matching
+
     def test_nonpositive_limits_rejected(self):
         with pytest.raises(ValueError):
             TensatConfig(node_limit=0)
@@ -69,3 +84,15 @@ class TestOptimizationStats:
         d = stats.as_dict()
         assert d["stop_reason"] == "saturated"
         assert d["speedup_percent"] == pytest.approx(100.0)
+
+    def test_as_dict_phase_breakdown(self):
+        stats = OptimizationStats(
+            exploration_seconds=1.0,
+            search_seconds=0.5,
+            apply_seconds=0.3,
+            rebuild_seconds=0.1,
+        )
+        d = stats.as_dict()
+        assert d["search_seconds"] == pytest.approx(0.5)
+        assert d["apply_seconds"] == pytest.approx(0.3)
+        assert d["rebuild_seconds"] == pytest.approx(0.1)

@@ -26,6 +26,8 @@ from repro.egraph.machine import (
     LOOKUP,
     YIELD,
     IncrementalMatcher,
+    TrieMatcher,
+    build_rule_trie,
     compile_pattern,
 )
 from repro.egraph.pattern import Pattern, PatternNode
@@ -240,6 +242,110 @@ class TestEquivalenceProperties:
         full = naive_search_pattern(egraph, pattern)
         assert incremental == full
         assert len(incremental) == 1
+
+
+# --------------------------------------------------------------------- #
+# Shared-prefix rule trie: one traversal per op bucket == R per-rule sweeps
+# --------------------------------------------------------------------- #
+
+
+def assert_trie_equivalent(egraph, patterns, trie_matcher=None, delta=None):
+    """The trie's per-rule lists must equal the per-rule VM and naive lists."""
+    matcher = trie_matcher if trie_matcher is not None else TrieMatcher(patterns)
+    all_matches = matcher.search_all(egraph, delta=delta)
+    assert len(all_matches) == len(patterns)
+    for pattern, trie_matches in zip(patterns, all_matches):
+        naive = naive_search_pattern(egraph, pattern)
+        assert trie_matches == naive, str(pattern)
+        if delta is None:
+            assert trie_matches == search_pattern(egraph, pattern), str(pattern)
+
+
+class TestTrieEquivalence:
+    def test_all_rules_on_tensor_egraph(self):
+        egraph, _root = _tensor_egraph()
+        assert_trie_equivalent(egraph, SOURCE_PATTERNS)
+
+    def test_all_rules_on_dirty_egraph(self):
+        egraph, _root = _tensor_egraph()
+        ids = egraph.eclass_ids()
+        egraph.union(ids[1], ids[2])
+        egraph.union(ids[0], ids[-1])
+        assert not egraph.is_clean()
+        assert_trie_equivalent(egraph, SOURCE_PATTERNS)
+
+    def test_trie_shares_instruction_prefixes(self):
+        trie = build_rule_trie(SOURCE_PATTERNS)
+        stats = trie.sharing_stats()
+        # The rule library has many rules per root operator; merging their
+        # Bind/Compare prefixes must eliminate a real number of instructions.
+        assert stats["insts_saved"] > 0
+        assert stats["insts_shared"] < stats["insts_unshared"]
+        assert len(trie.buckets) < trie.n_rules
+
+    def test_variable_root_patterns_supported(self):
+        egraph, _root = _tensor_egraph()
+        patterns = [Pattern.parse("?x"), Pattern.parse("(relu ?a)")]
+        assert_trie_equivalent(egraph, patterns)
+
+    @given(egraph_scripts())
+    @settings(max_examples=20, deadline=None)
+    def test_trie_equals_per_rule_and_naive_on_random_egraphs(self, script):
+        trees, union_seeds = script
+        egraph = build_from_script(trees, union_seeds)
+        egraph.rebuild()
+        assert_trie_equivalent(egraph, SOURCE_PATTERNS)
+
+    @given(egraph_scripts())
+    @settings(max_examples=10, deadline=None)
+    def test_trie_equals_per_rule_and_naive_on_random_dirty_egraphs(self, script):
+        trees, union_seeds = script
+        egraph = build_from_script(trees, union_seeds)  # unions pending
+        assert_trie_equivalent(egraph, SOURCE_PATTERNS)
+
+    @given(egraph_scripts(), st.lists(term_sexprs(), min_size=1, max_size=2))
+    @settings(max_examples=15, deadline=None)
+    def test_trie_incremental_matches_full_search(self, script, extra_trees):
+        """Per-rule caches ∪ bucket delta-closure re-search == full naive search."""
+        trees, union_seeds = script
+        egraph = build_from_script(trees, union_seeds)
+        egraph.rebuild()
+
+        matcher = TrieMatcher(SOURCE_PATTERNS)
+        matcher.search_all(egraph)  # populate per-rule caches
+        egraph.take_dirty()
+
+        for tree in extra_trees:
+            egraph.add_expr(RecExpr.from_sexpr(tree))
+        ids = egraph.eclass_ids()
+        egraph.union(ids[0], ids[-1])
+        egraph.rebuild()
+        delta = egraph.take_dirty()
+
+        assert_trie_equivalent(egraph, SOURCE_PATTERNS, trie_matcher=matcher, delta=delta)
+
+    def test_trie_incremental_union_at_max_variable_depth(self):
+        """Bucket closures climb the *max* depth of their rules; the deepest
+        rule's matches must still appear (same regression as the per-rule
+        matcher, through the shared path)."""
+        egraph = EGraph()
+        egraph.add_term("(ewadd (ewmul a b) (ewmul c d))")
+        patterns = [
+            Pattern.parse("(ewadd ?x ?y)"),  # shallow rule in the same bucket
+            Pattern.parse("(ewadd (ewmul ?x ?z) (ewmul ?y ?z))"),
+        ]
+        matcher = TrieMatcher(patterns)
+        assert matcher.search_all(egraph)[1] == []  # b != d: repeated ?z fails
+        egraph.take_dirty()
+
+        b = egraph.add_term("b")
+        d = egraph.add_term("d")
+        egraph.union(b, d)
+        egraph.rebuild()
+        delta = egraph.take_dirty()
+
+        assert_trie_equivalent(egraph, patterns, trie_matcher=matcher, delta=delta)
+        assert len(matcher.search_all(egraph, delta=set())[1]) == 1
 
 
 # --------------------------------------------------------------------- #

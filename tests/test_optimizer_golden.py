@@ -1,11 +1,13 @@
-"""Golden regression tests: the VM matcher path reproduces the naive path.
+"""Golden regression tests: every search path reproduces the naive path.
 
-For a few small seed models, the optimizer is run once with the naive
-interpretive matcher (the reference) and once with the compiled e-matching
-VM + delta search.  Because both matchers return identical ordered match
-lists, the exploration trajectories must coincide *bit-for-bit*: same e-graph
-growth, same stop reason, same extracted cost.  Any divergence means the VM
-changed the semantics of search, not just its speed.
+For a few small seed models, the optimizer is run with the naive interpretive
+matcher (the reference), the per-rule compiled e-matching VM + delta search,
+and the shared-prefix rule trie.  All three search the same frozen e-graph
+each iteration and return identical ordered match lists, so the exploration
+trajectories must coincide *bit-for-bit*: same match counts, same apply plan,
+same e-graph growth, same stop reason, same extracted cost.  Any divergence
+means a search path changed the semantics of the pipeline, not just its
+speed.
 """
 
 from __future__ import annotations
@@ -26,9 +28,15 @@ GOLDEN_CASES = [
 
 BASE = dict(node_limit=2_000, iter_limit=5, k_multi=1)
 
+#: The three search paths behind the one pipeline contract.
+SEARCH_PATHS = [
+    ("vm-per-rule", dict(matcher="vm", search_mode="per-rule")),
+    ("vm-trie", dict(matcher="vm", search_mode="trie")),
+]
 
-def _golden_record(model: str, overrides: dict, matcher: str) -> dict:
-    config = TensatConfig(matcher=matcher, **{**BASE, **overrides})
+
+def _golden_record(model: str, overrides: dict, **search_path) -> dict:
+    config = TensatConfig(**{**BASE, **overrides, **search_path})
     graph = build_model(model, "tiny")
     result = TensatOptimizer(config=config).optimize(graph)
     report = result.runner_report
@@ -42,16 +50,18 @@ def _golden_record(model: str, overrides: dict, matcher: str) -> dict:
         "iterations": report.num_iterations,
         "per_iteration_matches": tuple(it.n_matches for it in report.iterations),
         "per_iteration_applied": tuple(it.n_applied for it in report.iterations),
+        "per_iteration_deduped": tuple(it.n_deduped for it in report.iterations),
         "per_iteration_enodes": tuple(it.n_enodes for it in report.iterations),
     }
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("model,overrides", GOLDEN_CASES, ids=[m for m, _ in GOLDEN_CASES])
-def test_vm_path_reproduces_naive_golden_record(model, overrides):
+def test_vm_paths_reproduce_naive_golden_record(model, overrides):
     golden = _golden_record(model, overrides, matcher="naive")
-    vm = _golden_record(model, overrides, matcher="vm")
-    assert vm == golden
+    for name, search_path in SEARCH_PATHS:
+        record = _golden_record(model, overrides, **search_path)
+        assert record == golden, name
 
 
 @pytest.mark.slow

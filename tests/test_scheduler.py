@@ -1,13 +1,39 @@
-"""Tests for the optional backoff rule scheduler in the exploration runner."""
+"""Tests for the rule schedulers of the exploration pipeline."""
 
 import pytest
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.runner import Runner, RunnerLimits, StopReason
+from repro.egraph.scheduler import BackoffScheduler, SimpleScheduler, make_scheduler
 from repro.models import build_model
 from repro.core import TensatConfig, TensatOptimizer
 from repro.costs import AnalyticCostModel
+
+
+class TestSchedulerObjects:
+    def test_factory(self):
+        assert isinstance(make_scheduler("simple"), SimpleScheduler)
+        backoff = make_scheduler("backoff", match_limit=7, ban_length=3)
+        assert isinstance(backoff, BackoffScheduler)
+        assert backoff.match_limit == 7 and backoff.ban_length == 3
+        with pytest.raises(ValueError):
+            make_scheduler("adaptive")
+
+    def test_simple_never_bans(self):
+        s = SimpleScheduler()
+        assert not s.is_banned(0, 0)
+        assert s.admit_matches(0, 0, 10 ** 9)
+
+    def test_backoff_ban_doubles_per_offence(self):
+        s = BackoffScheduler(match_limit=2, ban_length=2)
+        assert s.admit_matches(0, 0, 2)  # at the limit: admitted
+        assert not s.admit_matches(0, 1, 3)  # over: banned for 2 iterations
+        assert s.is_banned(0, 2) and not s.is_banned(0, 3)
+        # Second offence: threshold and ban length double.
+        assert s.admit_matches(0, 4, 4)
+        assert not s.admit_matches(0, 5, 5)
+        assert s.is_banned(0, 8) and not s.is_banned(0, 9)
 
 
 def explosive_rules():
@@ -60,6 +86,36 @@ class TestBackoffScheduler:
         limits = RunnerLimits(iter_limit=3, scheduler="simple", match_limit=0)
         report = Runner(eg, rewrites=[Rewrite.parse("grow", "(f ?x)", "(f (g ?x))")], limits=limits).run()
         assert all(it.n_rules_banned == 0 for it in report.iterations)
+
+    @pytest.mark.parametrize("matcher,search_mode", [
+        ("naive", "trie"), ("vm", "per-rule"), ("vm", "trie"),
+    ])
+    def test_backoff_ban_lift_identical_across_matchers(self, matcher, search_mode):
+        """Regression: the ban-lift path used to reset the rule's compiled
+        incremental matcher unconditionally, even under matcher="naive".
+        Every matcher must survive a full ban/lift cycle and walk the exact
+        trajectory the naive reference walks."""
+
+        def run(m, sm):
+            eg = EGraph()
+            eg.add_term("(noop (f a) (h b))")
+            limits = RunnerLimits(
+                iter_limit=8, scheduler="backoff", match_limit=2, ban_length=2,
+                matcher=m, search_mode=sm,
+            )
+            runner = Runner(eg, rewrites=explosive_rules(), limits=limits)
+            report = runner.run()
+            return (
+                report.stop_reason,
+                tuple(it.n_matches for it in report.iterations),
+                tuple(it.n_applied for it in report.iterations),
+                tuple(it.n_rules_banned for it in report.iterations),
+                eg.num_enodes,
+            )
+
+        golden = run("naive", "per-rule")
+        assert any(banned > 0 for banned in golden[3]), "test needs a real ban"
+        assert run(matcher, search_mode) == golden
 
 
 class TestSchedulerEndToEnd:
