@@ -22,6 +22,7 @@ from repro.core.config import (
     CYCLE_FILTER_CHOICES,
     EXTRACTION_CHOICES,
     MATCHER_CHOICES,
+    MULTIPATTERN_JOIN_CHOICES,
     SCHEDULER_CHOICES,
     SEARCH_MODE_CHOICES,
 )
@@ -68,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=SCHEDULER_CHOICES, default=_CONFIG_DEFAULTS.scheduler,
         help="rule scheduling: every rule every iteration, or egg-style backoff",
     )
+    opt.add_argument(
+        "--multipattern-join", choices=MULTIPATTERN_JOIN_CHOICES,
+        default=_CONFIG_DEFAULTS.multipattern_join,
+        help="multi-pattern match combination: indexed hash join or Cartesian product",
+    )
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
 
@@ -98,6 +104,7 @@ def _config_from_args(args) -> TensatConfig:
         matcher=args.matcher,
         search_mode=args.search_mode,
         scheduler=args.scheduler,
+        multipattern_join=args.multipattern_join,
     )
 
 

@@ -10,6 +10,7 @@ __all__ = [
     "MATCHER_CHOICES",
     "SCHEDULER_CHOICES",
     "SEARCH_MODE_CHOICES",
+    "MULTIPATTERN_JOIN_CHOICES",
     "CYCLE_FILTER_CHOICES",
     "EXTRACTION_CHOICES",
 ]
@@ -19,6 +20,7 @@ __all__ = [
 MATCHER_CHOICES = ("vm", "naive")
 SCHEDULER_CHOICES = ("simple", "backoff")
 SEARCH_MODE_CHOICES = ("trie", "per-rule")
+MULTIPATTERN_JOIN_CHOICES = ("hash", "product")
 CYCLE_FILTER_CHOICES = ("efficient", "vanilla", "none")
 EXTRACTION_CHOICES = ("ilp", "greedy")
 
@@ -69,6 +71,14 @@ class TensatConfig:
     #: Seed each exploration iteration's search from the e-classes dirtied by
     #: the previous iteration ("vm" only); iteration 0 is always a full search.
     delta_matching: bool = True
+    #: How a multi-pattern rule's per-source match lists are combined into
+    #: match combinations: "hash" (default) equi-joins on the shared-variable
+    #: tuple -- index the smaller match set, probe with the other, chain joins
+    #: in ascending-selectivity order for 3+ sources -- while "product"
+    #: enumerates the full Cartesian product and filters (the executable
+    #: spec).  Both produce identical combination lists, so the saturation
+    #: trajectory is join-blind; see docs/multipattern.md.
+    multipattern_join: str = "hash"
 
     # ------------------------------------------------------------------ #
     # Cycle handling
@@ -112,6 +122,10 @@ class TensatConfig:
             raise ValueError(f"matcher must be 'vm' or 'naive', got {self.matcher!r}")
         if self.search_mode not in SEARCH_MODE_CHOICES:
             raise ValueError(f"search_mode must be 'trie' or 'per-rule', got {self.search_mode!r}")
+        if self.multipattern_join not in MULTIPATTERN_JOIN_CHOICES:
+            raise ValueError(
+                f"multipattern_join must be 'hash' or 'product', got {self.multipattern_join!r}"
+            )
         if self.cycle_filter not in CYCLE_FILTER_CHOICES:
             raise ValueError(
                 f"cycle_filter must be 'efficient', 'vanilla' or 'none', got {self.cycle_filter!r}"

@@ -109,6 +109,7 @@ class TensatOptimizer:
             matcher=config.matcher,
             search_mode=config.search_mode,
             use_delta=config.delta_matching,
+            multipattern_join=config.multipattern_join,
         )
         runner = Runner(
             egraph,

@@ -28,6 +28,9 @@ class OptimizationStats:
     search_seconds: float = 0.0
     apply_seconds: float = 0.0
     rebuild_seconds: float = 0.0
+    #: Time spent joining multi-pattern per-source matches into combinations
+    #: (a sub-span of the search phase; 0.0 when no multi-pattern rule ran).
+    multi_join_seconds: float = 0.0
 
     exploration_iterations: int = 0
     stop_reason: str = ""
@@ -56,6 +59,7 @@ class OptimizationStats:
             search_seconds=report.search_seconds,
             apply_seconds=report.apply_seconds,
             rebuild_seconds=report.rebuild_seconds,
+            multi_join_seconds=report.multi_join_seconds,
             exploration_iterations=report.num_iterations,
             stop_reason=report.stop_reason.value,
             num_enodes=report.n_enodes,
@@ -71,6 +75,7 @@ class OptimizationStats:
             "search_seconds": round(self.search_seconds, 4),
             "apply_seconds": round(self.apply_seconds, 4),
             "rebuild_seconds": round(self.rebuild_seconds, 4),
+            "multi_join_seconds": round(self.multi_join_seconds, 4),
             "extraction_seconds": round(self.extraction_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
             "iterations": self.exploration_iterations,

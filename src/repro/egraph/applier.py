@@ -21,6 +21,11 @@ Plan execution is deterministic (entries run in insertion order), which is
 what lets the naive matcher, the per-rule VM, and the shared-prefix trie
 produce bit-for-bit identical saturation trajectories: they hand the planner
 identical ordered match lists, and everything after that is matcher-blind.
+The same contract covers the two multi-pattern join implementations (hash
+and product), which hand the planner identical ordered combination lists.
+
+See ``docs/apply_plan.md`` for the full plan/apply/rebuild story and
+``docs/architecture.md`` for where it sits in the pipeline.
 """
 
 from __future__ import annotations
@@ -53,7 +58,15 @@ class ApplyStats:
 
 
 class ApplyPlan:
-    """All surviving matches of one iteration, deduped and ready to execute."""
+    """All surviving matches of one iteration, deduped and ready to execute.
+
+    Usage (the runner's plan stage): call :meth:`add_multi` for every
+    multi-pattern combination first, then :meth:`add_rewrite` for every
+    admitted single-pattern match -- insertion order is application order,
+    and multi entries lead so a node-limit truncation spends the ``k_multi``
+    budget on the still-compact graph -- then :meth:`execute` once.  A plan
+    is single-use: build, execute, discard.
+    """
 
     def __init__(self) -> None:
         # (kind, rule, match) in application order.

@@ -45,15 +45,21 @@ canonicalise), so ``cached ∪ re-search(closure)`` equals a full search; see
 Shared-prefix rule trie
 -----------------------
 
-:func:`build_rule_trie` merges the compiled programs of *all* single-pattern
-rules into one trie per root operator: programs whose instruction prefixes
-coincide (compilation is deterministic, so structurally identical pattern
-prefixes compile identically) share the corresponding ``Bind``/``Compare``/
+:func:`build_rule_trie` merges the compiled programs of many patterns into
+one trie per root operator: programs whose instruction prefixes coincide
+(compilation is deterministic, so structurally identical pattern prefixes
+compile identically) share the corresponding ``Bind``/``Compare``/
 ``Lookup`` work, and ``Yield`` leaves carry rule ids.  One traversal of each
-op-index bucket then produces ``(rule_id, match)`` pairs for every rule at
+op-index bucket then produces ``(rule_id, match)`` pairs for every pattern at
 once, replacing R independent VM sweeps.  :class:`TrieMatcher` is the
 bucket-level analogue of :class:`IncrementalMatcher`: per-rule caches merged
 with a re-search of each bucket's delta closure.
+
+The trie is agnostic to what a pattern *is for*: the saturation runner admits
+every single-pattern rule's LHS and every unique canonical multi-pattern
+source pattern (``docs/multipattern.md``) into the same trie, so the heavy
+multi-pattern rules ride the same one-traversal-per-bucket sweep as the
+single-pattern ones.
 """
 
 from __future__ import annotations
@@ -566,7 +572,12 @@ def trie_search_classes(
 
 
 class TrieMatcher:
-    """Incremental matcher for *all* single-pattern rules at once.
+    """Incremental matcher for many patterns at once (one trie per root op).
+
+    The ``patterns`` sequence may mix single-pattern rule LHSs with canonical
+    multi-pattern source patterns; results are returned per input index, so
+    the caller decides which slices feed which consumer (the runner maps
+    indices ``>= n_single`` back to canonical-pattern keys).
 
     ``search_all(egraph)`` walks each op bucket's trie over that op's
     candidate classes and returns one deterministically ordered match list
@@ -582,7 +593,9 @@ class TrieMatcher:
         self.patterns = list(patterns)
         self.trie = build_rule_trie(self.patterns)
         self._egraph_ref: Optional[weakref.ref] = None
-        self._cache: Optional[List[list]] = None
+        # None entries mark patterns whose maintenance was skipped (see
+        # ``search_all``); a wholly-None cache means "never searched".
+        self._cache: Optional[List[Optional[list]]] = None
 
     def reset(self) -> None:
         self._egraph_ref = None
@@ -595,23 +608,51 @@ class TrieMatcher:
         matches.sort(key=match_sort_key)
         return matches
 
-    def search_all(self, egraph: EGraph, delta: Optional[Set[int]] = None) -> List[list]:
+    def search_all(
+        self,
+        egraph: EGraph,
+        delta: Optional[Set[int]] = None,
+        skip: Iterable[int] = (),
+    ) -> List[list]:
+        """One match list per pattern index; ``skip`` suppresses maintenance.
+
+        Indices in ``skip`` return ``[]`` and their caches are dropped rather
+        than merged -- the runner passes the multi-pattern trie slots here
+        once the ``k_multi`` window has closed, so their (potentially large)
+        cached match lists are not re-canonicalised and re-sorted every
+        remaining iteration for results nobody reads.  Skipping is cheap to
+        undo but not free: a previously skipped index that is searched again
+        has no trustworthy cache, so the next call falls back to a full
+        search for every pattern.
+        """
         if self._egraph_ref is None or self._egraph_ref() is not egraph:
             self._cache = None
             self._egraph_ref = weakref.ref(egraph)
 
         n = len(self.patterns)
+        skipped = set(skip)
+        if self._cache is not None and any(
+            self._cache[i] is None for i in range(n) if i not in skipped
+        ):
+            # A formerly skipped pattern is active again; its cache is stale
+            # beyond repair, so re-search everything.
+            self._cache = None
+
         if delta is None or self._cache is None:
             per_rule: Dict[int, list] = {i: [] for i in range(n)}
             for op, bucket in self.trie.buckets.items():
                 candidates = sorted(egraph.classes_with_op(op))
                 trie_search_classes(egraph, bucket, candidates, per_rule)
             for i in range(n):
-                per_rule[i].sort(key=match_sort_key)
+                if i not in skipped:
+                    per_rule[i].sort(key=match_sort_key)
             for rule_id, name in self.trie.var_rules:
-                per_rule[rule_id] = self._var_rule_matches(egraph, name)
-            self._cache = [per_rule[i] for i in range(n)]
-            return [list(m) for m in self._cache]
+                if rule_id not in skipped:
+                    per_rule[rule_id] = self._var_rule_matches(egraph, name)
+            self._cache = [
+                None if i in skipped else per_rule[i] for i in range(n)
+            ]
+            return [[] if m is None else list(m) for m in self._cache]
 
         # Delta path: one closure walk per distinct bucket depth.
         fresh: Dict[int, list] = {i: [] for i in range(n)}
@@ -624,8 +665,11 @@ class TrieMatcher:
             if candidates:
                 trie_search_classes(egraph, bucket, candidates, fresh)
 
-        results: List[list] = []
+        results: List[Optional[list]] = []
         for i in range(n):
+            if i in skipped:
+                results.append(None)
+                continue
             merged: Dict[tuple, object] = {}
             for match in self._cache[i]:
                 canon = match.canonical(egraph)
@@ -634,6 +678,7 @@ class TrieMatcher:
                 merged[match_sort_key(match)] = match
             results.append([merged[key] for key in sorted(merged)])
         for rule_id, name in self.trie.var_rules:
-            results[rule_id] = self._var_rule_matches(egraph, name)
+            if rule_id not in skipped:
+                results[rule_id] = self._var_rule_matches(egraph, name)
         self._cache = results
-        return [list(m) for m in results]
+        return [[] if m is None else list(m) for m in results]

@@ -12,10 +12,27 @@ The application algorithm follows the paper:
    unique canonical patterns (so syntactically identical sources across rules
    and across the outputs of one rule are only e-matched once).
 2. Each iteration, run the single-pattern e-matcher on every canonical
-   pattern.
-3. For every rule, take the Cartesian product of the (decanonicalized)
-   matches of its source patterns, keep only combinations whose shared
-   variables map to the same e-class, and apply those.
+   pattern.  In the runner's default trie search mode the canonical patterns
+   are admitted into the shared-prefix rule trie, so their matches fall out
+   of the same one-traversal-per-op-bucket sweep that serves the
+   single-pattern rules (see ``docs/multipattern.md``).
+3. For every rule, combine the (decanonicalized) matches of its source
+   patterns: keep exactly the combinations whose shared variables map to the
+   same e-class, and apply those.
+
+Step 3 has two interchangeable implementations behind
+:meth:`MultiPatternRewrite.combine`:
+
+* ``join="product"`` -- the executable specification: enumerate the full
+  Cartesian product of the per-source match lists and filter incompatible
+  combinations (paper Algorithm 1, lines 10--15 verbatim);
+* ``join="hash"`` (the runner's default) -- an indexed equi-join on the
+  shared-variable tuple: hash the smaller side, probe with the larger, and
+  chain joins in ascending match-count order for rules with three or more
+  sources.  The output list is bit-for-bit identical to the product path
+  (same combinations, same order, same ``max_combinations`` truncation), it
+  just never materialises the quadratic product.  ``docs/multipattern.md``
+  works through the algorithm and the order-parity argument.
 """
 
 from __future__ import annotations
@@ -82,6 +99,11 @@ class MultiPatternRewrite:
         # pattern, so this is paid once per distinct pattern).
         for p in self.sources:
             p.compile()
+        # Per-source variable lists (first-appearance order): the hash join
+        # derives each join step's shared-variable key from these.
+        self.source_variables: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(p.variables()) for p in self.sources
+        )
         # Cached for the apply planner: the variables the targets consume, in
         # a deterministic order (cycle-filter leaves and the dedup key).
         target_vars: List[str] = []
@@ -142,6 +164,28 @@ class MultiPatternRewrite:
         egraph: EGraph,
         per_source_matches: Sequence[Sequence[Match]],
         max_combinations: Optional[int] = None,
+        join: str = "product",
+    ) -> List[MultiMatch]:
+        """Combine the per-source match lists into compatible :class:`MultiMatch` es.
+
+        ``join`` selects the implementation: ``"product"`` (the executable
+        spec: enumerate the Cartesian product and filter) or ``"hash"`` (an
+        indexed equi-join on the shared variables).  Both return the *same
+        list* -- same combinations, same order, same ``max_combinations``
+        truncation -- so the saturation trajectory is join-blind; the
+        equivalence is property-tested in ``tests/test_multipattern.py``.
+        """
+        if join == "product":
+            return self._combine_product(egraph, per_source_matches, max_combinations)
+        if join == "hash":
+            return self._combine_hash(egraph, per_source_matches, max_combinations)
+        raise ValueError(f"unknown join {join!r}; expected 'hash' or 'product'")
+
+    def _combine_product(
+        self,
+        egraph: EGraph,
+        per_source_matches: Sequence[Sequence[Match]],
+        max_combinations: Optional[int] = None,
     ) -> List[MultiMatch]:
         """Cartesian-product the per-source matches and keep compatible ones."""
         combos: List[MultiMatch] = []
@@ -162,12 +206,144 @@ class MultiPatternRewrite:
             combos.append(multi)
         return combos
 
+    def _combine_hash(
+        self,
+        egraph: EGraph,
+        per_source_matches: Sequence[Sequence[Match]],
+        max_combinations: Optional[int] = None,
+    ) -> List[MultiMatch]:
+        """Indexed join over the per-source matches; equals the product path.
+
+        Sources join in ascending match-count order.  Each step equi-joins
+        the accumulated partial combinations with the next source's matches
+        on their *shared-variable tuple* -- the variables the new source has
+        in common with every source already joined -- hashing whichever side
+        is smaller and probing with the other.  Compatibility over shared
+        variables is exactly what the key equality enforces, so no post-hoc
+        filter is needed.
+
+        Order parity: every surviving combination is tagged with its index
+        tuple into the per-source lists; sorting by that tuple reproduces the
+        product's lexicographic enumeration order, and a combination survives
+        a ``max_combinations`` cap iff its product *rank* (its position in
+        that enumeration, counting incompatible combinations too) is within
+        the cap -- the same prefix the product loop would have enumerated
+        before breaking.
+
+        The cap also *bounds the join's work*, as it bounds the product
+        loop's: a combination's rank is at least ``index * weight`` for every
+        source, so each source list is truncated to the indices that can
+        still make the cap before joining, and partial combinations whose
+        accumulated minimum rank already reaches the cap are pruned at every
+        join step.  Neither prune changes the surviving set (the final exact
+        rank filter still runs); they keep a tight cap cheap even when the
+        sources share no variables and the join degenerates to a product.
+        """
+        k = len(per_source_matches)
+        sizes = [len(matches) for matches in per_source_matches]
+        if 0 in sizes:
+            return []
+
+        # Lexicographic rank weights of an index tuple in the full product.
+        weights = [1] * k
+        for j in range(k - 2, -1, -1):
+            weights[j] = weights[j + 1] * sizes[j + 1]
+
+        if max_combinations is not None:
+            if max_combinations <= 0:
+                return []
+            # rank >= index_j * weights[j]: indices past the cap can never
+            # survive, so drop them before they enter the join.
+            per_source_matches = [
+                matches[: (max_combinations - 1) // weights[j] + 1]
+                for j, matches in enumerate(per_source_matches)
+            ]
+            sizes = [len(matches) for matches in per_source_matches]
+
+        # Ascending selectivity: start from the smallest match list so the
+        # intermediate partial-combination sets stay as small as possible.
+        order = sorted(range(k), key=lambda j: (sizes[j], j))
+
+        first = order[0]
+        # partial = (merged substitution, index tuple aligned with joined_order)
+        partials: List[Tuple[Dict[str, int], Tuple[int, ...]]] = [
+            (dict(m.subst), (i,)) for i, m in enumerate(per_source_matches[first])
+        ]
+        joined_order = [first]
+        bound_vars = set(self.source_variables[first])
+
+        for j in order[1:]:
+            matches = per_source_matches[j]
+            shared = tuple(v for v in self.source_variables[j] if v in bound_vars)
+            merged_partials: List[Tuple[Dict[str, int], Tuple[int, ...]]] = []
+            if len(matches) <= len(partials):
+                # Index the new source's matches, probe with the partials.
+                index: Dict[tuple, list] = {}
+                for i, m in enumerate(matches):
+                    index.setdefault(tuple(m.subst[v] for v in shared), []).append((i, m))
+                for subst, idxs in partials:
+                    for i, m in index.get(tuple(subst[v] for v in shared), ()):
+                        merged = dict(subst)
+                        merged.update(m.subst)
+                        merged_partials.append((merged, idxs + (i,)))
+            else:
+                # Index the partials, probe with the new source's matches.
+                index = {}
+                for subst, idxs in partials:
+                    index.setdefault(tuple(subst[v] for v in shared), []).append((subst, idxs))
+                for i, m in enumerate(matches):
+                    for subst, idxs in index.get(tuple(m.subst[v] for v in shared), ()):
+                        merged = dict(subst)
+                        merged.update(m.subst)
+                        merged_partials.append((merged, idxs + (i,)))
+            joined_order.append(j)
+            if max_combinations is not None and merged_partials:
+                # A partial's rank can only grow as later sources join, so
+                # one already at the cap can be pruned without a final check.
+                joined_weights = [weights[pos] for pos in joined_order]
+                merged_partials = [
+                    (subst, idxs)
+                    for subst, idxs in merged_partials
+                    if sum(i * w for i, w in zip(idxs, joined_weights)) < max_combinations
+                ]
+            partials = merged_partials
+            if not partials:
+                return []
+            bound_vars.update(self.source_variables[j])
+
+        # Restore product order (and the product's truncation semantics).
+        keyed: List[Tuple[Tuple[int, ...], Dict[str, int]]] = []
+        for subst, idxs in partials:
+            positions = [0] * k
+            for i, j in zip(idxs, joined_order):
+                positions[j] = i
+            if max_combinations is not None:
+                rank = sum(positions[j] * weights[j] for j in range(k))
+                if rank >= max_combinations:
+                    continue
+            keyed.append((tuple(positions), subst))
+        keyed.sort(key=lambda entry: entry[0])
+
+        combos: List[MultiMatch] = []
+        for positions, subst in keyed:
+            eclasses = tuple(per_source_matches[j][positions[j]].eclass for j in range(k))
+            if self.skip_identical and k > 1 and len(set(eclasses)) == 1:
+                continue
+            multi = MultiMatch(eclasses=eclasses, subst=subst)
+            if self.condition is not None and not self.condition(egraph, multi):
+                continue
+            combos.append(multi)
+        return combos
+
     def search(
-        self, egraph: EGraph, max_combinations: Optional[int] = None
+        self,
+        egraph: EGraph,
+        max_combinations: Optional[int] = None,
+        join: str = "product",
     ) -> List[MultiMatch]:
         """Stand-alone search (used by tests); the runner goes through :class:`MultiPatternSearcher`."""
         per_source = [search_pattern(egraph, p) for p in self.sources]
-        return self.combine(egraph, per_source, max_combinations)
+        return self.combine(egraph, per_source, max_combinations, join=join)
 
     # ------------------------------------------------------------------ #
     # Application
@@ -205,11 +381,24 @@ class MultiPatternSearcher:
     source pattern once up front, search each *unique* canonical pattern once
     per iteration, then hand decanonicalized per-source match lists back to
     each rule for combination.
+
+    The two halves are exposed separately so the runner can fuse the first
+    into its trie sweep:
+
+    * :meth:`search_canonical` -- e-match every unique canonical pattern
+      (compiled VM with optional delta seeding, or the naive matcher);
+      alternatively the runner admits :meth:`canonical_patterns` into its
+      :class:`~repro.egraph.machine.TrieMatcher` and obtains the same match
+      lists from the single shared-prefix trie traversal that serves the
+      single-pattern rules;
+    * :meth:`combine_matches` -- decanonicalize and join each rule's
+      per-source lists into :class:`MultiMatch` es (hash join by default in
+      the runner; Cartesian product as the executable spec).
+
+    :meth:`search` chains the two for stand-alone use.
     """
 
     def __init__(self, rules: Sequence[MultiPatternRewrite]) -> None:
-        from repro.egraph.machine import IncrementalMatcher
-
         self.rules = list(rules)
         # canonical pattern string -> canonical Pattern
         self._canonical_patterns: Dict[str, Pattern] = {}
@@ -223,39 +412,63 @@ class MultiPatternSearcher:
                 self._canonical_patterns.setdefault(key, canonical)
                 entries.append((key, rename_map))
             self._rule_sources.append(entries)
-        # One incremental matcher per unique canonical pattern (compiled once).
-        self._matchers: Dict[str, IncrementalMatcher] = {
-            key: IncrementalMatcher(pattern)
-            for key, pattern in self._canonical_patterns.items()
-        }
+        # One incremental matcher per unique canonical pattern, built on first
+        # use: the runner's default trie path obtains canonical matches from
+        # its own TrieMatcher and never needs these.
+        self._matchers: Dict[str, object] = {}
 
     @property
     def num_unique_patterns(self) -> int:
         return len(self._canonical_patterns)
 
-    def search(
+    def canonical_patterns(self) -> List[Tuple[str, Pattern]]:
+        """The unique canonical source patterns as ``(key, pattern)`` pairs.
+
+        Deterministic order (first appearance across the rule list), so the
+        runner can admit them into the rule trie at stable indices.
+        """
+        return list(self._canonical_patterns.items())
+
+    def search_canonical(
         self,
         egraph: EGraph,
-        max_combinations: Optional[int] = None,
         delta=None,
         matcher: str = "vm",
-    ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
-        """One iteration's worth of matches for every rule.
+    ) -> Dict[str, List[Match]]:
+        """E-match every unique canonical source pattern once.
 
         ``matcher`` selects the compiled VM (default) or the naive reference
         matcher; with the VM, ``delta`` optionally restricts the search to the
         e-classes dirtied since the previous call (plus cached matches).
         """
         if matcher == "naive":
-            canonical_matches: Dict[str, List[Match]] = {
+            return {
                 key: naive_search_pattern(egraph, pattern)
                 for key, pattern in self._canonical_patterns.items()
             }
-        else:
-            canonical_matches = {
-                key: self._matchers[key].search(egraph, delta=delta)
-                for key in self._canonical_patterns
-            }
+        from repro.egraph.machine import IncrementalMatcher
+
+        for key, pattern in self._canonical_patterns.items():
+            if key not in self._matchers:
+                self._matchers[key] = IncrementalMatcher(pattern)
+        return {
+            key: self._matchers[key].search(egraph, delta=delta)
+            for key in self._canonical_patterns
+        }
+
+    def combine_matches(
+        self,
+        egraph: EGraph,
+        canonical_matches: Dict[str, List[Match]],
+        max_combinations: Optional[int] = None,
+        join: str = "product",
+    ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
+        """Decanonicalize and combine per-rule; ``join`` as in :meth:`MultiPatternRewrite.combine`.
+
+        ``canonical_matches`` maps each canonical pattern key (see
+        :meth:`canonical_patterns`) to its match list, from whichever search
+        path produced it -- :meth:`search_canonical` or the runner's trie.
+        """
         results: List[Tuple[MultiPatternRewrite, List[MultiMatch]]] = []
         for rule, entries in zip(self.rules, self._rule_sources):
             per_source: List[List[Match]] = []
@@ -265,6 +478,18 @@ class MultiPatternSearcher:
                     for m in canonical_matches[key]
                 ]
                 per_source.append(decanonicalized)
-            combos = rule.combine(egraph, per_source, max_combinations)
+            combos = rule.combine(egraph, per_source, max_combinations, join=join)
             results.append((rule, combos))
         return results
+
+    def search(
+        self,
+        egraph: EGraph,
+        max_combinations: Optional[int] = None,
+        delta=None,
+        matcher: str = "vm",
+        join: str = "product",
+    ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
+        """One iteration's worth of matches for every rule (search + combine)."""
+        canonical_matches = self.search_canonical(egraph, delta=delta, matcher=matcher)
+        return self.combine_matches(egraph, canonical_matches, max_combinations, join=join)

@@ -30,6 +30,12 @@ Multi-pattern rules grow the e-graph double-exponentially (paper Section 4),
 so they are only applied for the first ``k_multi`` iterations; afterwards only
 single-pattern rules run.  Their plan entries precede the single-pattern
 entries so a node-limit truncation spends the ``k_multi`` budget first.
+In trie search mode their canonical source patterns are admitted into the
+shared-prefix rule trie, so the one traversal per op bucket that matches the
+single-pattern rules yields the multi-pattern source matches too; per-rule
+combination is an indexed hash join on the shared variables by default
+(``multipattern_join="hash"``), with the Cartesian-product join kept as the
+executable spec (see ``docs/multipattern.md``).
 
 Cycle filtering (paper Section 5.2) plugs in as a :class:`~repro.egraph.cycles.CycleFilter`
 strategy: a per-iteration setup hook, a per-match ``allows`` check, and a
@@ -85,6 +91,9 @@ class IterationReport:
     search_seconds: float = 0.0
     apply_seconds: float = 0.0
     rebuild_seconds: float = 0.0
+    #: Time spent joining multi-pattern per-source matches into combinations
+    #: (a sub-span of ``search_seconds``; 0.0 when no multi rules ran).
+    multi_join_seconds: float = 0.0
     #: True when this iteration searched the whole e-graph; False when the
     #: search was seeded from the previous iteration's delta.
     full_search: bool = True
@@ -105,6 +114,7 @@ class RunnerReport:
     search_seconds: float = 0.0
     apply_seconds: float = 0.0
     rebuild_seconds: float = 0.0
+    multi_join_seconds: float = 0.0
 
     @property
     def num_iterations(self) -> int:
@@ -118,6 +128,7 @@ class RunnerReport:
             "search_seconds": round(self.search_seconds, 4),
             "apply_seconds": round(self.apply_seconds, 4),
             "rebuild_seconds": round(self.rebuild_seconds, 4),
+            "multi_join_seconds": round(self.multi_join_seconds, 4),
             "enodes": self.n_enodes,
             "eclasses": self.n_eclasses,
             "filtered_nodes": self.n_filtered,
@@ -135,6 +146,11 @@ class RunnerLimits:
     #: Safety valve on the Cartesian product size per multi-pattern rule per
     #: iteration; ``None`` reproduces the paper exactly (no cap).
     max_multi_combinations: Optional[int] = None
+    #: How a multi-pattern rule's per-source match lists are combined:
+    #: "hash" (default) equi-joins on the shared-variable tuple, indexing the
+    #: smaller side; "product" enumerates the Cartesian product and filters
+    #: (the executable spec).  Both produce identical combination lists.
+    multipattern_join: str = "hash"
     #: Rule scheduling: "simple" applies every rule every iteration (the
     #: paper's behaviour); "backoff" temporarily bans single-pattern rules
     #: whose match count explodes, like egg's default BackoffScheduler.
@@ -209,6 +225,10 @@ class Runner:
             raise ValueError(
                 f"unknown search mode {self.limits.search_mode!r}; expected 'trie' or 'per-rule'"
             )
+        if self.limits.multipattern_join not in ("hash", "product"):
+            raise ValueError(
+                f"unknown multipattern join {self.limits.multipattern_join!r}; expected 'hash' or 'product'"
+            )
         # Raises on an unknown scheduler kind, same as the matcher checks.
         self.scheduler: Scheduler = make_scheduler(
             self.limits.scheduler, self.limits.match_limit, self.limits.ban_length
@@ -216,12 +236,24 @@ class Runner:
         self.cycle_filter = cycle_filter if cycle_filter is not None else NoCycleFilter()
         self._multi_searcher = MultiPatternSearcher(self.multi_rewrites) if self.multi_rewrites else None
         # Compiled search state (VM only).  "trie": one shared-prefix trie
-        # matcher over all rules; "per-rule": one incremental matcher each.
+        # matcher over all single-pattern rules *plus* the unique canonical
+        # multi-pattern source patterns (admitted at indices >= n_single, so
+        # one traversal per op bucket yields their matches too); "per-rule":
+        # one incremental matcher per single rule, with the multi searcher
+        # running its own per-canonical-pattern matchers.
         self._trie_matcher: Optional[TrieMatcher] = None
         self._matchers: List[IncrementalMatcher] = []
+        self._n_single = len(self.rewrites)
+        self._multi_keys: List[str] = []
         if self.limits.matcher == "vm":
             if self.limits.search_mode == "trie":
-                self._trie_matcher = TrieMatcher([rw.lhs for rw in self.rewrites])
+                patterns = [rw.lhs for rw in self.rewrites]
+                if self._multi_searcher is not None:
+                    for key, pattern in self._multi_searcher.canonical_patterns():
+                        self._multi_keys.append(key)
+                        patterns.append(pattern)
+                if patterns:
+                    self._trie_matcher = TrieMatcher(patterns)
             else:
                 self._matchers = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
         # E-classes dirtied by the previous iteration; None forces a full
@@ -281,6 +313,7 @@ class Runner:
             search_seconds=sum(r.search_seconds for r in reports),
             apply_seconds=sum(r.apply_seconds for r in reports),
             rebuild_seconds=sum(r.rebuild_seconds for r in reports),
+            multi_join_seconds=sum(r.multi_join_seconds for r in reports),
         )
 
     # ------------------------------------------------------------------ #
@@ -304,19 +337,36 @@ class Runner:
 
         # --- search phase: every rule matched against the frozen e-graph --- #
         t_search = time.perf_counter()
-        multi_matches = []
-        if self._multi_searcher is not None and iteration < self.limits.k_multi:
-            report.applied_multi = True
-            multi_matches = self._multi_searcher.search(
-                self.egraph,
-                self.limits.max_multi_combinations,
-                delta=delta,
-                matcher=self.limits.matcher,
-            )
-
+        multi_active = self._multi_searcher is not None and iteration < self.limits.k_multi
         trie_results = None
-        if self._trie_matcher is not None and self.rewrites:
-            trie_results = self._trie_matcher.search_all(self.egraph, delta=delta)
+        if self._trie_matcher is not None:
+            # Once the k_multi window closes the multi-pattern trie slots are
+            # never read again; skipping them drops their cache maintenance.
+            skip = () if multi_active else range(self._n_single, self._n_single + len(self._multi_keys))
+            trie_results = self._trie_matcher.search_all(self.egraph, delta=delta, skip=skip)
+
+        multi_matches = []
+        if multi_active:
+            report.applied_multi = True
+            if trie_results is not None:
+                # Trie admission: the canonical source patterns were searched
+                # as a byproduct of the single traversal per op bucket above.
+                canonical_matches = {
+                    key: trie_results[self._n_single + offset]
+                    for offset, key in enumerate(self._multi_keys)
+                }
+            else:
+                canonical_matches = self._multi_searcher.search_canonical(
+                    self.egraph, delta=delta, matcher=self.limits.matcher
+                )
+            t_join = time.perf_counter()
+            multi_matches = self._multi_searcher.combine_matches(
+                self.egraph,
+                canonical_matches,
+                self.limits.max_multi_combinations,
+                join=self.limits.multipattern_join,
+            )
+            report.multi_join_seconds = time.perf_counter() - t_join
 
         # One ordered match list per rule; None marks a banned (unsearched) rule.
         single_matches: List[Optional[list]] = []

@@ -14,6 +14,12 @@ is now a strategy object consulted at two points of the pipeline:
 Scheduling decisions depend only on iteration numbers and match counts, and
 every matcher produces identical match lists, so the schedule -- and with it
 the saturation trajectory -- is matcher-independent.
+
+Multi-pattern rules are *not* scheduled here: their budget is the runner's
+``k_multi`` iteration window (see ``docs/multipattern.md``).  The pipeline
+overview, including where both scheduling points sit, is
+``docs/architecture.md``; the plan the admitted matches flow into is
+``docs/apply_plan.md``.
 """
 
 from __future__ import annotations
@@ -24,12 +30,24 @@ __all__ = ["Scheduler", "SimpleScheduler", "BackoffScheduler", "make_scheduler",
 
 
 class Scheduler:
-    """Interface: decide which rules search and which matches get applied."""
+    """Interface: decide which rules search and which matches get applied.
+
+    Implementations must be deterministic functions of the ``(rule_index,
+    iteration, n_matches)`` stream they observe -- the runner relies on that
+    to keep trajectories reproducible across search paths.  Subclasses
+    override one or both hooks; the defaults admit everything (which is
+    exactly :class:`SimpleScheduler`).
+    """
 
     name = "base"
 
     def is_banned(self, rule_index: int, iteration: int) -> bool:
-        """True when ``rule_index`` must not run in ``iteration``."""
+        """True when ``rule_index`` must not run in ``iteration``.
+
+        Consulted *before* the search phase: per-rule search paths skip
+        banned rules entirely; the trie computes their matches as a
+        byproduct of the shared traversal and the runner discards them.
+        """
         return False
 
     def admit_matches(self, rule_index: int, iteration: int, n_matches: int) -> bool:
@@ -80,7 +98,13 @@ SCHEDULERS = ("simple", "backoff")
 
 
 def make_scheduler(kind: str, match_limit: int = 1_000, ban_length: int = 5) -> Scheduler:
-    """Factory mirroring :func:`~repro.egraph.runner.make_cycle_filter`."""
+    """Factory mirroring :func:`~repro.egraph.runner.make_cycle_filter`.
+
+    ``kind`` is one of :data:`SCHEDULERS` (``"simple"`` or ``"backoff"``;
+    the ``match_limit`` / ``ban_length`` budgets only apply to backoff).
+    Raises :class:`ValueError` on anything else, so configuration typos
+    surface at runner construction, not mid-exploration.
+    """
     if kind == "simple":
         return SimpleScheduler()
     if kind == "backoff":

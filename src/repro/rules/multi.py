@@ -6,6 +6,15 @@ split back into the two original results.  They are the rules that grow the
 e-graph double-exponentially (paper Section 4) and the reason greedy
 extraction fails (Section 6.5) -- the merged operator only pays off when both
 outputs pick their ``split`` projection.
+
+How these rules are *executed* -- source-pattern canonicalization, admission
+into the shared-prefix rule trie, and the indexed hash join that replaces the
+Cartesian-product combination -- is described in ``docs/multipattern.md``;
+the engine lives in :mod:`repro.egraph.multipattern`.  Note that both
+sources of each rule here are alpha-equivalent, so the whole five-rule
+library e-matches just three canonical patterns per iteration (one
+matmul-shaped, two conv-shaped -- the ``enlarge`` variant pins stride and
+padding to literals, which makes it a distinct canonical pattern).
 """
 
 from __future__ import annotations

@@ -324,6 +324,32 @@ class TestTrieEquivalence:
 
         assert_trie_equivalent(egraph, SOURCE_PATTERNS, trie_matcher=matcher, delta=delta)
 
+    def test_skip_suppresses_maintenance_and_reactivation_recovers(self):
+        """``skip`` indices return [] without cache upkeep (the runner uses
+        this for multi-pattern slots past the k_multi window); un-skipping a
+        previously skipped index must fall back to a full, correct search."""
+        egraph, _root = _tensor_egraph()
+        patterns = [Pattern.parse("(relu ?a)"), Pattern.parse("(matmul ?x ?y ?z)")]
+        matcher = TrieMatcher(patterns)
+        matcher.search_all(egraph)
+        egraph.take_dirty()
+
+        extra = egraph.add_term("(relu (matmul 0 q r))")
+        egraph.rebuild()
+        delta = egraph.take_dirty()
+
+        skipped = matcher.search_all(egraph, delta=delta, skip=[1])
+        assert skipped[0] == naive_search_pattern(egraph, patterns[0])
+        assert skipped[1] == []
+
+        # Re-activate index 1: its cache was dropped, so the matcher must
+        # recover with a full search and agree with the naive matcher again.
+        egraph.take_dirty()
+        reactivated = matcher.search_all(egraph, delta=set())
+        for pattern, matches in zip(patterns, reactivated):
+            assert matches == naive_search_pattern(egraph, pattern), str(pattern)
+        del extra
+
     def test_trie_incremental_union_at_max_variable_depth(self):
         """Bucket closures climb the *max* depth of their rules; the deepest
         rule's matches must still appear (same regression as the per-rule

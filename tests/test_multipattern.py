@@ -1,8 +1,19 @@
-"""Tests for multi-pattern rewrites (paper Algorithm 1)."""
+"""Tests for multi-pattern rewrites (paper Algorithm 1).
+
+The hash-join tests treat the Cartesian-product combine as the executable
+specification: for every scenario -- hand-built and property-generated --
+``combine(join="hash")`` must return a list *identical* to
+``combine(join="product")``, element for element and in the same order,
+because the saturation trajectory depends on that order.
+"""
+
+import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import search_pattern
 from repro.egraph.language import RecExpr
 from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
 from repro.egraph.runner import Runner, RunnerLimits
@@ -134,3 +145,286 @@ class TestSearcherSharing:
         _, combos = results[0]
         standalone = rule.search(eg)
         assert {c.eclasses for c in combos} == {c.eclasses for c in standalone}
+
+    def test_search_canonical_plus_combine_equals_search(self):
+        """The split halves compose back into exactly what search() returns."""
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        searcher = MultiPatternSearcher([rule])
+        canonical = searcher.search_canonical(eg)
+        assert set(canonical) == {key for key, _ in searcher.canonical_patterns()}
+        recombined = searcher.combine_matches(eg, canonical)
+        assert recombined == searcher.search(eg)
+
+
+# --------------------------------------------------------------------- #
+# Hash join == Cartesian product (the executable spec)
+# --------------------------------------------------------------------- #
+
+
+def three_source_rule(condition=None):
+    """All three sources share ?a and ?x; w1/w2/w3 are free per source."""
+    return MultiPatternRewrite.parse(
+        "matmul-merge-three",
+        sources=["(matmul ?a ?x ?w1)", "(matmul ?a ?x ?w2)", "(matmul ?a ?x ?w3)"],
+        targets=["?w1", "?w2", "?w3"],
+        condition=condition,
+    )
+
+
+def zero_shared_rule(condition=None):
+    """No variable is shared between the sources: the join degenerates to a product."""
+    return MultiPatternRewrite.parse(
+        "relu-sqrt-pair",
+        sources=["(relu ?x)", "(sqrt ?y)"],
+        targets=["?x", "?y"],
+        condition=condition,
+    )
+
+
+def assert_join_equals_product(egraph, rule, max_combinations=None):
+    per_source = [search_pattern(egraph, p) for p in rule.sources]
+    product = rule.combine(egraph, per_source, max_combinations, join="product")
+    hashed = rule.combine(egraph, per_source, max_combinations, join="hash")
+    assert hashed == product  # same combinations, same order
+    return product
+
+
+class TestHashJoinEqualsProduct:
+    def test_basic_shared_input(self):
+        eg, _ = shared_input_egraph()
+        combos = assert_join_equals_product(eg, matmul_merge_rule())
+        assert len(combos) == 2
+
+    def test_zero_shared_variables_pure_product(self):
+        eg = EGraph()
+        eg.add_term("(noop (relu a) (relu b) (sqrt c) (sqrt d) (sqrt e))")
+        combos = assert_join_equals_product(eg, zero_shared_rule())
+        # Every (relu, sqrt) pairing is compatible: 2 x 3 combinations.
+        assert len(combos) == 6
+
+    def test_variable_shared_across_all_three_sources(self):
+        eg = EGraph()
+        eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2) (matmul 0 x w3))")
+        combos = assert_join_equals_product(eg, three_source_rule())
+        # All 27 triples agree on ?a and ?x; only the 3 fully-identical
+        # triples are dropped by skip_identical.
+        assert len(combos) == 24
+
+    def test_three_sources_with_incompatible_matches(self):
+        eg = EGraph()
+        eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2) (matmul 0 y w3))")
+        combos = assert_join_equals_product(eg, three_source_rule())
+        # Triples drawing from the ?y matmul never agree on ?x with the other
+        # two, so only the two x-matmuls (and self-pairings) survive.
+        assert combos and all(len(set(c.eclasses)) <= 2 for c in combos)
+
+    def test_join_respects_multicondition(self):
+        eg, _ = shared_input_egraph()
+        condition = lambda g, m: m.subst["w1"] < m.subst["w2"]  # noqa: E731
+        rule = matmul_merge_rule(condition=condition)
+        combos = assert_join_equals_product(eg, rule)
+        # The symmetric pair is filtered down to the one ordered combination.
+        assert len(combos) == 1
+        assert all(c.subst["w1"] < c.subst["w2"] for c in combos)
+
+    def test_join_respects_multicondition_on_three_sources(self):
+        eg = EGraph()
+        eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2) (matmul 0 x w3))")
+        condition = lambda g, m: len({m.subst["w1"], m.subst["w2"], m.subst["w3"]}) == 3  # noqa: E731
+        combos = assert_join_equals_product(eg, three_source_rule(condition=condition))
+        assert len(combos) == 6  # the 3! orderings of the three distinct weights
+
+    def test_max_combinations_truncation_parity(self):
+        eg = EGraph()
+        eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2) (matmul 0 x w3))")
+        rule = three_source_rule()
+        full = assert_join_equals_product(eg, rule)
+        for cap in (0, 1, 2, 5, 11, 26, 27, 100):
+            truncated = assert_join_equals_product(eg, rule, max_combinations=cap)
+            # Truncation keeps a prefix of the full (enumeration-ordered) list.
+            assert truncated == full[: len(truncated)]
+
+    def test_cap_bounds_join_work_on_zero_shared_sources(self):
+        """Regression: with no shared variables the join degenerates to a
+        product, and a tight ``max_combinations`` must bound the *work*, not
+        just filter a fully materialised product afterwards.  400x400 source
+        lists with cap=5 must both stay fast and keep product parity."""
+        eg = EGraph()
+        relus = " ".join(f"(relu a{i})" for i in range(400))
+        sqrts = " ".join(f"(sqrt b{i})" for i in range(400))
+        eg.add_term(f"(noop {relus} {sqrts})")
+        rule = zero_shared_rule()
+        start = time.perf_counter()
+        combos = assert_join_equals_product(eg, rule, max_combinations=5)
+        elapsed = time.perf_counter() - start
+        assert len(combos) == 5
+        # Generous bound: pre-fix this materialised 160k merged dicts; the
+        # pruned join touches ~800 matches plus 5 survivors.
+        assert elapsed < 2.0
+
+    def test_cap_prunes_three_source_join_steps(self):
+        eg = EGraph()
+        matmuls = " ".join(f"(matmul 0 x w{i})" for i in range(12))
+        eg.add_term(f"(noop {matmuls})")
+        rule = three_source_rule()
+        for cap in (1, 7, 13, 144, 1000):
+            assert_join_equals_product(eg, rule, max_combinations=cap)
+
+    def test_skip_identical_disabled_parity(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        rule.skip_identical = False
+        combos = assert_join_equals_product(eg, rule)
+        assert len(combos) == 4
+
+    def test_empty_source_short_circuits(self):
+        eg = EGraph()
+        eg.add_term("(relu a)")  # no sqrt anywhere: one source has no matches
+        assert assert_join_equals_product(eg, zero_shared_rule()) == []
+
+    def test_unknown_join_rejected(self):
+        eg, _ = shared_input_egraph()
+        rule = matmul_merge_rule()
+        with pytest.raises(ValueError):
+            rule.combine(eg, [[], []], join="nested-loop")
+
+
+# --------------------------------------------------------------------- #
+# Property-based: join == product on random e-graphs
+# --------------------------------------------------------------------- #
+
+JOIN_OPS = [("matmul", 3), ("relu", 1), ("sqrt", 1), ("ewadd", 2)]
+JOIN_LEAVES = ["a", "b", "x", "y", "w1", "w2", "0", "1"]
+
+
+@st.composite
+def join_term_sexprs(draw, depth=3):
+    if depth == 0 or draw(st.integers(min_value=0, max_value=2)) == 0:
+        return draw(st.sampled_from(JOIN_LEAVES))
+    op, arity = draw(st.sampled_from(JOIN_OPS))
+    return [op] + [draw(join_term_sexprs(depth=depth - 1)) for _ in range(arity)]
+
+
+@st.composite
+def join_egraphs(draw):
+    trees = draw(st.lists(join_term_sexprs(), min_size=2, max_size=5))
+    egraph = EGraph()
+    for tree in trees:
+        egraph.add_expr(RecExpr.from_sexpr(tree))
+    ids = egraph.eclass_ids()
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        a = draw(st.integers(min_value=0, max_value=len(ids) - 1))
+        b = draw(st.integers(min_value=0, max_value=len(ids) - 1))
+        egraph.union(ids[a], ids[b])
+    egraph.rebuild()
+    return egraph
+
+
+JOIN_RULES = [matmul_merge_rule(), three_source_rule(), zero_shared_rule()]
+
+
+class TestHashJoinProperties:
+    @given(join_egraphs(), st.sampled_from([None, 1, 3, 10, 50]))
+    @settings(max_examples=40, deadline=None)
+    def test_join_equals_product_on_random_egraphs(self, egraph, cap):
+        for rule in JOIN_RULES:
+            assert_join_equals_product(egraph, rule, max_combinations=cap)
+
+    @given(join_egraphs())
+    @settings(max_examples=20, deadline=None)
+    def test_searcher_join_equals_product_on_random_egraphs(self, egraph):
+        searcher = MultiPatternSearcher(JOIN_RULES)
+        canonical = searcher.search_canonical(egraph)
+        product = searcher.combine_matches(egraph, canonical, join="product")
+        hashed = searcher.combine_matches(egraph, canonical, join="hash")
+        assert hashed == product
+
+
+# --------------------------------------------------------------------- #
+# Runner trajectory parity: join mode and search path are invisible
+# --------------------------------------------------------------------- #
+
+
+def _runner_trajectory(**limit_overrides):
+    eg = EGraph()
+    eg.add_term(
+        "(noop (relu (matmul 0 x w1)) (sqrt (matmul 0 x w2)) (matmul 0 x w3))"
+    )
+    limits = RunnerLimits(iter_limit=4, k_multi=2, node_limit=4_000, **limit_overrides)
+    runner = Runner(
+        eg,
+        rewrites=[],
+        multi_rewrites=[matmul_merge_rule(), three_source_rule()],
+        limits=limits,
+    )
+    report = runner.run()
+    return (
+        report.stop_reason,
+        report.n_enodes,
+        report.n_eclasses,
+        tuple(it.n_matches for it in report.iterations),
+        tuple(it.n_applied for it in report.iterations),
+        tuple(it.n_deduped for it in report.iterations),
+    )
+
+
+class TestRunnerJoinParity:
+    def test_hash_and_product_runs_identical(self):
+        assert _runner_trajectory(multipattern_join="hash") == _runner_trajectory(
+            multipattern_join="product"
+        )
+
+    def test_all_search_paths_identical_with_multi_rules(self):
+        golden = _runner_trajectory(matcher="naive")
+        assert _runner_trajectory(matcher="vm", search_mode="per-rule") == golden
+        assert _runner_trajectory(matcher="vm", search_mode="trie") == golden
+
+    def test_trie_admission_with_single_and_multi_rules(self):
+        """Multi canonical sources ride the same trie as single-rule LHSs."""
+        from repro.rules import default_ruleset
+
+        ruleset = default_ruleset()
+        records = {}
+        for mode in ("naive", "per-rule", "trie"):
+            eg = EGraph()
+            eg.add_term("(noop (matmul 0 x w1) (matmul 0 x w2))")
+            limits = RunnerLimits(
+                iter_limit=3,
+                k_multi=1,
+                node_limit=3_000,
+                matcher="vm" if mode != "naive" else "naive",
+                search_mode=mode if mode != "naive" else "trie",
+            )
+            runner = Runner(
+                eg,
+                rewrites=ruleset.rewrites,
+                multi_rewrites=ruleset.multi_rewrites,
+                limits=limits,
+            )
+            report = runner.run()
+            records[mode] = (
+                report.n_enodes,
+                tuple(it.n_matches for it in report.iterations),
+                tuple(it.n_applied for it in report.iterations),
+            )
+        assert records["per-rule"] == records["naive"]
+        assert records["trie"] == records["naive"]
+
+    def test_runner_rejects_unknown_join(self):
+        with pytest.raises(ValueError):
+            Runner(EGraph(), limits=RunnerLimits(multipattern_join="zip"))
+
+    def test_multi_join_seconds_reported(self):
+        eg, _ = shared_input_egraph()
+        runner = Runner(
+            eg,
+            rewrites=[],
+            multi_rewrites=[matmul_merge_rule()],
+            limits=RunnerLimits(iter_limit=2, k_multi=1),
+        )
+        report = runner.run()
+        assert report.iterations[0].multi_join_seconds >= 0.0
+        assert report.multi_join_seconds == pytest.approx(
+            sum(it.multi_join_seconds for it in report.iterations)
+        )

@@ -65,6 +65,21 @@ def test_vm_paths_reproduce_naive_golden_record(model, overrides):
 
 
 @pytest.mark.slow
+def test_multipattern_hash_join_reproduces_product_golden_record():
+    """The indexed multi-pattern join must not change the nasrnn trajectory.
+
+    ``multipattern_join="product"`` is the executable spec (Algorithm 1's
+    Cartesian product + filter); the hash join must walk the identical
+    trajectory bit-for-bit, with multi-pattern rules active long enough
+    (k_multi=2) for the join to matter.
+    """
+    overrides = dict(extraction="greedy", k_multi=2)
+    golden = _golden_record("nasrnn", overrides, multipattern_join="product")
+    record = _golden_record("nasrnn", overrides, multipattern_join="hash")
+    assert record == golden
+
+
+@pytest.mark.slow
 def test_delta_matching_off_matches_delta_on():
     """Disabling delta seeding must not change the trajectory either."""
     config = dict(BASE, extraction="greedy")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in the repo's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and verifies that
+every *relative* target resolves to an existing file or directory (external
+``http(s)``/``mailto`` links and pure in-page ``#anchors`` are skipped;
+a ``path#fragment`` target is checked for the path part only).
+
+Run from anywhere::
+
+    python tools/check_docs_links.py
+
+Exit status 0 when every link resolves, 1 otherwise (broken links listed on
+stderr).  CI runs this in the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images ![alt](target) match too
+#: via the optional leading "!".  Targets with spaces or "(" are not used in
+#: this repo's docs, so the simple "no closing paren" body is sufficient.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes (and scheme-like prefixes) that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(doc: Path) -> list[str]:
+    """Return one problem description per broken link in ``doc``."""
+    problems: list[str] = []
+    text = doc.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            try:
+                resolved.relative_to(REPO_ROOT)
+            except ValueError:
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{lineno}: link escapes the repo: {target}"
+                )
+                continue
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}:{lineno}: broken link: {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    docs = iter_doc_files()
+    if not docs:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    n_links = 0
+    for doc in docs:
+        text = doc.read_text(encoding="utf-8")
+        n_links += sum(1 for _ in _LINK_RE.finditer(text))
+        problems.extend(check_file(doc))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"\n{len(problems)} broken link(s) across {len(docs)} file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {n_links} links across {len(docs)} markdown files all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
