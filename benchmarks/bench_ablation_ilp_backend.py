@@ -11,7 +11,7 @@ import time
 import pytest
 
 from benchmarks.common import cost_model, format_table, write_result
-from repro.core import TensatConfig, TensatOptimizer
+from repro.core import OptimizationSession, TensatConfig
 from repro.egraph.extraction.ilp import ILPExtractor
 from repro.ir.convert import recexpr_to_graph
 from repro.models import build_model
@@ -21,7 +21,9 @@ def _generate():
     cm = cost_model()
     graph = build_model("nasrnn", "tiny", steps=1, gates=2)
     config = TensatConfig(node_limit=400, iter_limit=4, k_multi=1, ilp_time_limit=30)
-    egraph, root, cycle_filter, _ = TensatOptimizer(cm, config=config).explore(graph)
+    session = OptimizationSession(graph, cost_model=cm, config=config)
+    session.explore()
+    egraph, root, cycle_filter = session.egraph, session.root, session.cycle_filter
     node_cost = cm.extraction_cost_function()
 
     rows = []

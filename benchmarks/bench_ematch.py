@@ -32,7 +32,8 @@ import pytest
 
 from benchmarks.common import bench_scale, format_table, write_result
 from repro.core.config import TensatConfig
-from repro.core.optimizer import TensatOptimizer
+from repro.core.events import PhaseTimingObserver
+from repro.core.session import OptimizationSession
 from repro.egraph.ematch import naive_search_pattern, search_pattern
 from repro.egraph.machine import TrieMatcher, build_rule_trie
 from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
@@ -60,13 +61,15 @@ MODES = {
 
 
 def _explore(model: str, scale: str, mode: str):
+    """One full run; per-phase timings come from an attached observer."""
     graph = build_model(model, scale)
     config = TensatConfig(**MODES[mode], **BENCH_CONFIG)
-    optimizer = TensatOptimizer(config=config)
+    timing = PhaseTimingObserver()
     start = time.perf_counter()
-    result = optimizer.optimize(graph)
+    session = OptimizationSession(graph, config=config, observers=[timing])
+    result = session.result()
     seconds = time.perf_counter() - start
-    return result, seconds
+    return result, seconds, timing
 
 
 def _trajectory(result) -> tuple:
@@ -120,13 +123,19 @@ def _generate_bench_ematch():
             assert _trajectory(results[mode][0]) == golden, (model, mode)
 
         reports = {mode: results[mode][0].runner_report for mode in MODES}
-        search = {mode: reports[mode].search_seconds for mode in MODES}
-        n_iters = reports["trie"].num_iterations
+        # Per-phase timings come from the observers, not report fields.
+        timings = {mode: results[mode][2] for mode in MODES}
+        search = {mode: timings[mode].search_seconds for mode in MODES}
+        n_iters = timings["trie"].iterations
         delta_iters = sum(1 for it in reports["trie"].iterations if not it.full_search)
 
-        # One-shot comparison on the saturated e-graph (no delta seeding).
-        optimizer = TensatOptimizer(config=TensatConfig(**MODES["trie"], **BENCH_CONFIG))
-        egraph, _root, _filter, _report = optimizer.explore(build_model(model, scale))
+        # One-shot comparison on the saturated e-graph (no delta seeding);
+        # the session keeps the explored e-graph inspectable.
+        explore_session = OptimizationSession(
+            build_model(model, scale), config=TensatConfig(**MODES["trie"], **BENCH_CONFIG)
+        )
+        explore_session.explore()
+        egraph = explore_session.egraph
         trie_matcher = TrieMatcher(patterns)
 
         def _per_rule_sweep(eg):
@@ -195,8 +204,8 @@ def _generate_bench_ematch():
                 f"{search['trie'] * 1000:.1f}",
                 f"{search['naive'] / max(search['trie'], 1e-9):.2f}x",
                 f"{search['per-rule'] / max(search['trie'], 1e-9):.2f}x",
-                f"{reports['trie'].apply_seconds * 1000:.1f}",
-                f"{reports['trie'].rebuild_seconds * 1000:.1f}",
+                f"{timings['trie'].apply_seconds * 1000:.1f}",
+                f"{timings['trie'].rebuild_seconds * 1000:.1f}",
             ]
         )
         shot_rows.append(
@@ -227,15 +236,15 @@ def _generate_bench_ematch():
             "iterations": n_iters,
             "delta_iterations": delta_iters,
             "search_seconds": {mode: search[mode] for mode in MODES},
-            "apply_seconds": {mode: reports[mode].apply_seconds for mode in MODES},
-            "rebuild_seconds": {mode: reports[mode].rebuild_seconds for mode in MODES},
+            "apply_seconds": {mode: timings[mode].apply_seconds for mode in MODES},
+            "rebuild_seconds": {mode: timings[mode].rebuild_seconds for mode in MODES},
             "exploration_search_speedup": search["naive"] / max(search["per-rule"], 1e-9),
             "trie_exploration_search_speedup": search["per-rule"] / max(search["trie"], 1e-9),
             "one_shot_seconds": shots,
             "one_shot_speedup": shots["naive"] / max(shots["per-rule"], 1e-9),
             "trie_one_shot_speedup": shots["per-rule"] / max(shots["trie"], 1e-9),
             "per_iteration_search_ms": {
-                mode: [it.search_seconds * 1000 for it in reports[mode].iterations]
+                mode: [it["search_seconds"] * 1000 for it in timings[mode].per_iteration]
                 for mode in MODES
             },
             "total_seconds": {mode: results[mode][1] for mode in MODES},

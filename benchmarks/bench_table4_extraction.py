@@ -10,7 +10,7 @@ on both.
 import pytest
 
 from benchmarks.common import bench_scale, cost_model, format_table, tensat_config, write_result
-from repro.core import TensatOptimizer
+from repro.core import OptimizationSession
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.extraction.ilp import ILPExtractor
 from repro.ir.convert import recexpr_to_graph
@@ -26,8 +26,9 @@ def _generate_table4():
     for model in TABLE4_MODELS:
         graph = build_model(model, bench_scale())
         original = cm.graph_cost(graph)
-        optimizer = TensatOptimizer(cm, config=tensat_config(model, k_multi=1))
-        egraph, root, cycle_filter, _ = optimizer.explore(graph)
+        session = OptimizationSession(graph, cost_model=cm, config=tensat_config(model, k_multi=1))
+        session.explore()
+        egraph, root, cycle_filter = session.egraph, session.root, session.cycle_filter
         node_cost = cm.extraction_cost_function()
 
         greedy_expr = GreedyExtractor(node_cost, filter_list=cycle_filter.filter_list).extract(egraph, root)

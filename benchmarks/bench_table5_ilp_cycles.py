@@ -12,7 +12,7 @@ import time
 import pytest
 
 from benchmarks.common import bench_scale, cost_model, format_table, tensat_config, write_result
-from repro.core import TensatOptimizer
+from repro.core import OptimizationSession
 from repro.egraph.extraction.ilp import ILPExtractor
 from repro.models import build_model
 
@@ -47,7 +47,9 @@ def _generate_table5():
         for k in K_VALUES:
             graph = build_model(model, bench_scale())
             config = tensat_config(model, k_multi=k)
-            egraph, root, cycle_filter, _ = TensatOptimizer(cm, config=config).explore(graph)
+            session = OptimizationSession(graph, cost_model=cm, config=config)
+            session.explore()
+            egraph, root, cycle_filter = session.egraph, session.root, session.cycle_filter
 
             with_real, status_real = _solve(
                 egraph, root, cycle_filter, node_cost, with_cycle_constraints=True, integer_topo=False

@@ -10,7 +10,7 @@ ordering on the scaled-down workloads.
 import pytest
 
 from benchmarks.common import bench_scale, cost_model, format_table, tensat_config, write_result
-from repro.core import TensatOptimizer
+from repro.core import OptimizationSession
 from repro.models import build_model
 
 TABLE6_MODELS = ["bert", "nasrnn", "nasnet"]
@@ -21,8 +21,8 @@ def _explore_seconds(model, k_multi, cycle_filter):
     cm = cost_model()
     graph = build_model(model, bench_scale())
     config = tensat_config(model, k_multi=k_multi, cycle_filter=cycle_filter)
-    optimizer = TensatOptimizer(cm, config=config)
-    _, _, _, report = optimizer.explore(graph)
+    session = OptimizationSession(graph, cost_model=cm, config=config)
+    report = session.explore()
     return report.total_seconds, report.n_enodes
 
 

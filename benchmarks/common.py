@@ -21,12 +21,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.core import TensatConfig, TensatOptimizer
+from repro.core import OptimizationSession, TensatConfig, compare
+from repro.core.events import PhaseTimingObserver
 from repro.core.optimizer import OptimizationResult
 from repro.costs import AnalyticCostModel
 from repro.ir.graph import TensorGraph
 from repro.models import build_model
-from repro.search import BacktrackingSearch
 from repro.search.backtracking import BacktrackingResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -96,6 +96,9 @@ class ModelRun:
     tensat: OptimizationResult
     tensat_seconds: float
     taso: BacktrackingResult
+    #: Per-phase timing observer attached to the TENSAT run: phase_seconds
+    #: plus the search/apply/rebuild breakdown, without touching the result.
+    timing: Optional[PhaseTimingObserver] = None
 
     @property
     def tensat_speedup(self) -> float:
@@ -127,16 +130,30 @@ def run_model(
     cm = cost_model()
     graph = build_model(model, scale)
     config = tensat_config(model, k_multi=k_multi, **config_overrides)
-
-    start = time.perf_counter()
-    tensat_result = TensatOptimizer(cm, config=config).optimize(graph)
-    tensat_seconds = time.perf_counter() - start
+    timing = PhaseTimingObserver()
 
     if run_taso:
-        taso_result = BacktrackingSearch(
-            cm, budget=taso_budget(), time_limit=600.0, alpha=1.0
-        ).optimize(graph)
+        # The shared compare() front door is the same implementation the
+        # CLI's `compare` subcommand uses.
+        comparison = compare(
+            graph,
+            cost_model=cm,
+            config=config,
+            observers=[timing],
+            taso_budget=taso_budget(),
+            taso_time_limit=600.0,
+            taso_alpha=1.0,
+        )
+        tensat_result = comparison.tensat
+        tensat_seconds = comparison.tensat_seconds
+        taso_result = comparison.taso
     else:
+        # Session construction seeds the e-graph, so it belongs inside the
+        # timer (as it does in compare() and in the pre-session harness).
+        start = time.perf_counter()
+        session = OptimizationSession(graph, cost_model=cm, config=config, observers=[timing])
+        tensat_result = session.result()
+        tensat_seconds = time.perf_counter() - start
         taso_result = BacktrackingResult(
             original=graph,
             optimized=graph,
@@ -155,6 +172,7 @@ def run_model(
         tensat=tensat_result,
         tensat_seconds=tensat_seconds,
         taso=taso_result,
+        timing=timing,
     )
     _RUN_CACHE[cache_key] = run
     return run

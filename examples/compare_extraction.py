@@ -12,7 +12,7 @@ Run with::
     python examples/compare_extraction.py
 """
 
-from repro import GraphBuilder, TensatConfig, TensatOptimizer
+from repro import GraphBuilder, OptimizationSession, TensatConfig
 from repro.costs import AnalyticCostModel
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.extraction.ilp import ILPExtractor
@@ -37,8 +37,9 @@ def main() -> None:
     graph = attention_block()
     original_cost = cost_model.graph_cost(graph)
 
-    optimizer = TensatOptimizer(cost_model, config=TensatConfig.fast())
-    egraph, root, cycle_filter, report = optimizer.explore(graph)
+    session = OptimizationSession(graph, cost_model=cost_model, config=TensatConfig.fast())
+    report = session.explore()
+    egraph, root, cycle_filter = session.egraph, session.root, session.cycle_filter
     print(f"explored e-graph: {egraph.num_enodes} e-nodes, {egraph.num_eclasses} e-classes "
           f"(stop: {report.stop_reason.value})")
 

@@ -1,17 +1,19 @@
 #!/usr/bin/env python
-"""Quickstart: optimize a small tensor graph with TENSAT.
+"""Quickstart: optimize a small tensor graph with TENSAT's session API.
 
 Builds the motivating pattern of the paper's Figure 2 -- two matrix
-multiplications that share an input -- runs equality saturation over the
-default rewrite-rule library, extracts the cheapest equivalent graph with the
-ILP, and checks that the optimized graph computes exactly the same values.
+multiplications that share an input -- and drives the optimizer phase by
+phase through an :class:`~repro.core.session.OptimizationSession`: one
+saturation iteration at a time (inspecting the growing e-graph between
+steps), then extraction with the ILP, then materialization back to a
+concrete graph that computes exactly the same values.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import GraphBuilder, TensatConfig, optimize
+from repro import GraphBuilder, OptimizationSession, TensatConfig
 from repro.backend import execute_graph, outputs_allclose
 from repro.costs import AnalyticCostModel
 
@@ -36,14 +38,25 @@ def main() -> None:
 
     # TensatConfig.fast() keeps the e-graph small enough for an interactive demo;
     # TensatConfig() reproduces the paper's limits (50k e-nodes, 15 iterations).
-    result = optimize(graph, cost_model=cost_model, config=TensatConfig.fast())
+    session = OptimizationSession(graph, cost_model=cost_model, config=TensatConfig.fast())
+
+    # Exploration, one saturation iteration at a time.  session.explore()
+    # runs the same loop in one call; either way the trajectory is identical.
+    while (iteration := session.step()) is not None:
+        print(f"  iteration {iteration.index}: {iteration.n_matches} matches, "
+              f"{iteration.n_applied} applied -> {iteration.n_enodes} e-nodes")
+    print(f"exploration    : {session.report.total_seconds:.2f}s "
+          f"(stop: {session.report.stop_reason.value})")
+
+    extraction = session.extract()
+    print(f"extraction     : {extraction.status} (cost {extraction.cost:.5f} ms)")
+
+    session.materialize()
+    result = session.result()
 
     print(f"optimized graph: {result.optimized.describe()}")
     print(f"optimized cost : {result.optimized_cost:.5f} ms")
     print(f"speedup        : {result.speedup_percent:.1f}%")
-    print(f"exploration    : {result.stats.exploration_seconds:.2f}s "
-          f"({result.stats.num_enodes} e-nodes, stop: {result.stats.stop_reason})")
-    print(f"extraction     : {result.stats.extraction_seconds:.2f}s ({result.stats.extraction_status})")
 
     same = outputs_allclose(execute_graph(graph), execute_graph(result.optimized))
     print(f"numerically equivalent to the original: {same}")

@@ -14,6 +14,19 @@ Top-level convenience API::
     result = optimize(graph)
     print(result.speedup_percent)
 
+Or phase by phase, with the session API (see ``docs/api.md``)::
+
+    from repro import OptimizationSession
+
+    session = OptimizationSession(graph)
+    while session.step() is not None:   # one saturation iteration at a time
+        pass
+    result = session.result()
+
+Batches share one compiled rule trie via :func:`optimize_many`, and the
+component registries in :mod:`repro.core.registry` let third-party
+extractors / schedulers / joins plug in without editing the driver.
+
 The package is organised as:
 
 * :mod:`repro.egraph`   -- e-graph / equality-saturation substrate (egg-like).
@@ -26,18 +39,53 @@ The package is organised as:
 * :mod:`repro.models`   -- benchmark model graph constructors.
 """
 
+from repro.core.batch import ComparisonResult, compare, optimize_many
 from repro.core.config import TensatConfig
+from repro.core.events import OptimizationObserver, PhaseTimingObserver, RecordingObserver
 from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
+from repro.core.registry import (
+    CYCLE_FILTERS,
+    EXTRACTORS,
+    ILP_BACKENDS,
+    MATCHERS,
+    MULTIPATTERN_JOINS,
+    Registry,
+    SCHEDULERS,
+    SEARCH_MODES,
+)
+from repro.core.session import OptimizationSession
+from repro.core.stats import OptimizationStats
 from repro.ir.graph import GraphBuilder, TensorGraph
 from repro.ir.tensor import TensorShape
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
-    "TensatConfig",
+    # Driver API
+    "OptimizationSession",
     "TensatOptimizer",
+    "TensatConfig",
     "OptimizationResult",
+    "OptimizationStats",
     "optimize",
+    # Batch front door
+    "optimize_many",
+    "compare",
+    "ComparisonResult",
+    # Event / observer API
+    "OptimizationObserver",
+    "PhaseTimingObserver",
+    "RecordingObserver",
+    # Component registries
+    "Registry",
+    "CYCLE_FILTERS",
+    "EXTRACTORS",
+    "ILP_BACKENDS",
+    "MATCHERS",
+    "MULTIPATTERN_JOINS",
+    "SCHEDULERS",
+    "SEARCH_MODES",
+    # IR conveniences
     "GraphBuilder",
     "TensorGraph",
     "TensorShape",

@@ -14,30 +14,28 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Optional, Sequence
 
-from repro.core import TensatConfig, TensatOptimizer
-from repro.core.config import (
-    CYCLE_FILTER_CHOICES,
-    EXTRACTION_CHOICES,
-    MATCHER_CHOICES,
-    MULTIPATTERN_JOIN_CHOICES,
-    SCHEDULER_CHOICES,
-    SEARCH_MODE_CHOICES,
+from repro.core import TensatConfig, compare, optimize
+from repro.core.registry import (
+    CYCLE_FILTERS,
+    EXTRACTORS,
+    MATCHERS,
+    MULTIPATTERN_JOINS,
+    SCHEDULERS,
+    SEARCH_MODES,
 )
 from repro.costs import AnalyticCostModel
 from repro.ir.serialize import save_graph
 from repro.models import MODEL_NAMES, build_model
 from repro.rules import default_ruleset
-from repro.search import BacktrackingSearch
 
 __all__ = ["main", "build_parser"]
 
 
 #: Engine-knob defaults come from the config dataclass itself, so the CLI can
-#: never drift from what library users get (choices likewise come from
-#: core/config.py).
+#: never drift from what library users get; choices come straight from the
+#: component registries (tools/check_api.py asserts they stay in lockstep).
 _CONFIG_DEFAULTS = TensatConfig()
 
 
@@ -54,23 +52,23 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--k-multi", type=int, default=1, help="iterations of multi-pattern rewrites")
     opt.add_argument("--node-limit", type=int, default=5_000)
     opt.add_argument("--iter-limit", type=int, default=8)
-    opt.add_argument("--extraction", choices=EXTRACTION_CHOICES, default="ilp")
+    opt.add_argument("--extraction", choices=EXTRACTORS.names(), default="ilp")
     opt.add_argument("--ilp-time-limit", type=float, default=60.0)
-    opt.add_argument("--cycle-filter", choices=CYCLE_FILTER_CHOICES, default="efficient")
+    opt.add_argument("--cycle-filter", choices=CYCLE_FILTERS.names(), default="efficient")
     opt.add_argument(
-        "--matcher", choices=MATCHER_CHOICES, default=_CONFIG_DEFAULTS.matcher,
+        "--matcher", choices=MATCHERS.names(), default=_CONFIG_DEFAULTS.matcher,
         help="e-matcher: compiled VM or the naive interpretive reference",
     )
     opt.add_argument(
-        "--search-mode", choices=SEARCH_MODE_CHOICES, default=_CONFIG_DEFAULTS.search_mode,
+        "--search-mode", choices=SEARCH_MODES.names(), default=_CONFIG_DEFAULTS.search_mode,
         help="VM search organisation: shared-prefix rule trie or per-rule programs",
     )
     opt.add_argument(
-        "--scheduler", choices=SCHEDULER_CHOICES, default=_CONFIG_DEFAULTS.scheduler,
+        "--scheduler", choices=SCHEDULERS.names(), default=_CONFIG_DEFAULTS.scheduler,
         help="rule scheduling: every rule every iteration, or egg-style backoff",
     )
     opt.add_argument(
-        "--multipattern-join", choices=MULTIPATTERN_JOIN_CHOICES,
+        "--multipattern-join", choices=MULTIPATTERN_JOINS.names(),
         default=_CONFIG_DEFAULTS.multipattern_join,
         help="multi-pattern match combination: indexed hash join or Cartesian product",
     )
@@ -111,8 +109,7 @@ def _config_from_args(args) -> TensatConfig:
 def _cmd_optimize(args) -> int:
     cost_model = AnalyticCostModel()
     graph = build_model(args.model, args.scale)
-    optimizer = TensatOptimizer(cost_model, config=_config_from_args(args))
-    result = optimizer.optimize(graph)
+    result = optimize(graph, cost_model=cost_model, config=_config_from_args(args))
     if args.output:
         save_graph(result.optimized, args.output)
     if args.json:
@@ -128,30 +125,21 @@ def _cmd_compare(args) -> int:
     cost_model = AnalyticCostModel()
     graph = build_model(args.model, args.scale)
 
-    start = time.perf_counter()
-    tensat = TensatOptimizer(
-        cost_model, config=TensatConfig.fast().with_overrides(k_multi=args.k_multi)
-    ).optimize(graph)
-    tensat_seconds = time.perf_counter() - start
+    comparison = compare(
+        graph,
+        cost_model=cost_model,
+        config=TensatConfig.fast().with_overrides(k_multi=args.k_multi),
+        taso_budget=args.taso_budget,
+    )
 
-    taso = BacktrackingSearch(cost_model, budget=args.taso_budget).optimize(graph)
-
-    payload = {
-        "model": args.model,
-        "scale": args.scale,
-        "original_cost_ms": cost_model.graph_cost(graph),
-        "tensat": {"speedup_percent": tensat.speedup_percent, "seconds": tensat_seconds},
-        "taso": {
-            "speedup_percent": taso.speedup_percent,
-            "total_seconds": taso.total_seconds,
-            "best_seconds": taso.best_seconds,
-        },
-    }
+    # The CLI reports the model/scale it was asked for, not the graph's name.
+    payload = {**comparison.as_dict(), "model": args.model, "scale": args.scale}
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        print(f"{args.model} ({args.scale}): original cost {payload['original_cost_ms']:.5f} ms")
-        print(f"  TENSAT : {tensat.speedup_percent:6.1f}% speedup in {tensat_seconds:.2f}s")
+        tensat, taso = comparison.tensat, comparison.taso
+        print(f"{args.model} ({args.scale}): original cost {comparison.original_cost:.5f} ms")
+        print(f"  TENSAT : {tensat.speedup_percent:6.1f}% speedup in {comparison.tensat_seconds:.2f}s")
         print(f"  TASO   : {taso.speedup_percent:6.1f}% speedup in {taso.total_seconds:.2f}s "
               f"(best found at {taso.best_seconds:.2f}s)")
     return 0

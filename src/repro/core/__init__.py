@@ -1,7 +1,50 @@
-"""The TENSAT optimizer: equality-saturation exploration + extraction."""
+"""The TENSAT optimizer: equality-saturation exploration + extraction.
 
+The driver layer: :class:`OptimizationSession` (steppable phases),
+:class:`TensatOptimizer` / :func:`optimize` (one-shot composition),
+:func:`optimize_many` / :func:`compare` (batch front door), the component
+registries (:mod:`repro.core.registry`), and the observer hooks
+(:mod:`repro.core.events`).
+"""
+
+from repro.core.batch import ComparisonResult, compare, compile_shared_trie, optimize_many
 from repro.core.config import TensatConfig
+from repro.core.events import OptimizationObserver, PhaseTimingObserver, RecordingObserver
 from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
+from repro.core.registry import (
+    CYCLE_FILTERS,
+    EXTRACTORS,
+    ILP_BACKENDS,
+    MATCHERS,
+    MULTIPATTERN_JOINS,
+    Registry,
+    SCHEDULERS,
+    SEARCH_MODES,
+)
+from repro.core.session import OptimizationSession, materialize_extraction
 from repro.core.stats import OptimizationStats
 
-__all__ = ["TensatConfig", "TensatOptimizer", "OptimizationResult", "OptimizationStats", "optimize"]
+__all__ = [
+    "ComparisonResult",
+    "CYCLE_FILTERS",
+    "EXTRACTORS",
+    "ILP_BACKENDS",
+    "MATCHERS",
+    "MULTIPATTERN_JOINS",
+    "OptimizationObserver",
+    "OptimizationResult",
+    "OptimizationSession",
+    "OptimizationStats",
+    "PhaseTimingObserver",
+    "RecordingObserver",
+    "Registry",
+    "SCHEDULERS",
+    "SEARCH_MODES",
+    "TensatConfig",
+    "TensatOptimizer",
+    "compare",
+    "compile_shared_trie",
+    "materialize_extraction",
+    "optimize",
+    "optimize_many",
+]

@@ -5,6 +5,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.core.registry import (
+    CYCLE_FILTERS,
+    EXTRACTORS,
+    ILP_BACKENDS,
+    MATCHERS,
+    MULTIPATTERN_JOINS,
+    SCHEDULERS,
+    SEARCH_MODES,
+)
+
 __all__ = [
     "TensatConfig",
     "MATCHER_CHOICES",
@@ -15,14 +25,27 @@ __all__ = [
     "EXTRACTION_CHOICES",
 ]
 
-#: Valid values for the corresponding knobs; the CLI imports these so its
-#: ``choices=`` lists can never drift from the config validation.
-MATCHER_CHOICES = ("vm", "naive")
-SCHEDULER_CHOICES = ("simple", "backoff")
-SEARCH_MODE_CHOICES = ("trie", "per-rule")
-MULTIPATTERN_JOIN_CHOICES = ("hash", "product")
-CYCLE_FILTER_CHOICES = ("efficient", "vanilla", "none")
-EXTRACTION_CHOICES = ("ilp", "greedy")
+#: Import-time snapshots of the registry names, kept for backward
+#: compatibility.  Validation and the CLI consult the *live* registries in
+#: :mod:`repro.core.registry`, so components registered after import are
+#: accepted everywhere even though they are absent from these tuples.
+MATCHER_CHOICES = MATCHERS.names()
+SCHEDULER_CHOICES = SCHEDULERS.names()
+SEARCH_MODE_CHOICES = SEARCH_MODES.names()
+MULTIPATTERN_JOIN_CHOICES = MULTIPATTERN_JOINS.names()
+CYCLE_FILTER_CHOICES = CYCLE_FILTERS.names()
+EXTRACTION_CHOICES = EXTRACTORS.names()
+
+#: Knob name -> the registry its value must name an entry of.
+_KNOB_REGISTRIES = (
+    ("extraction", EXTRACTORS),
+    ("scheduler", SCHEDULERS),
+    ("matcher", MATCHERS),
+    ("search_mode", SEARCH_MODES),
+    ("multipattern_join", MULTIPATTERN_JOINS),
+    ("cycle_filter", CYCLE_FILTERS),
+    ("ilp_backend", ILP_BACKENDS),
+)
 
 
 @dataclass(frozen=True)
@@ -114,24 +137,11 @@ class TensatConfig:
     verify_numerically: bool = False
 
     def __post_init__(self) -> None:
-        if self.extraction not in EXTRACTION_CHOICES:
-            raise ValueError(f"extraction must be 'ilp' or 'greedy', got {self.extraction!r}")
-        if self.scheduler not in SCHEDULER_CHOICES:
-            raise ValueError(f"scheduler must be 'simple' or 'backoff', got {self.scheduler!r}")
-        if self.matcher not in MATCHER_CHOICES:
-            raise ValueError(f"matcher must be 'vm' or 'naive', got {self.matcher!r}")
-        if self.search_mode not in SEARCH_MODE_CHOICES:
-            raise ValueError(f"search_mode must be 'trie' or 'per-rule', got {self.search_mode!r}")
-        if self.multipattern_join not in MULTIPATTERN_JOIN_CHOICES:
-            raise ValueError(
-                f"multipattern_join must be 'hash' or 'product', got {self.multipattern_join!r}"
-            )
-        if self.cycle_filter not in CYCLE_FILTER_CHOICES:
-            raise ValueError(
-                f"cycle_filter must be 'efficient', 'vanilla' or 'none', got {self.cycle_filter!r}"
-            )
-        if self.ilp_backend not in ("scipy", "bnb"):
-            raise ValueError(f"ilp_backend must be 'scipy' or 'bnb', got {self.ilp_backend!r}")
+        # Strategy knobs validate against the live component registries, so
+        # a third-party extractor/scheduler registered before this config is
+        # constructed is accepted without touching this module.
+        for knob, registry in _KNOB_REGISTRIES:
+            registry.check(getattr(self, knob))
         if self.node_limit <= 0 or self.iter_limit <= 0:
             raise ValueError("node_limit and iter_limit must be positive")
         if self.k_multi < 0:

@@ -11,60 +11,28 @@ This is the paper's primary contribution assembled end-to-end:
    greedy algorithm or the ILP (Section 5.1),
 4. the selected term is converted back to a :class:`TensorGraph`, validated,
    and returned together with detailed statistics.
+
+The phases live on :class:`~repro.core.session.OptimizationSession`;
+:class:`TensatOptimizer` is the configured front door whose
+:meth:`~TensatOptimizer.optimize` is a thin composition of the session's
+steps.  The old tuple-returning ``explore()`` / ``extract()`` helpers remain
+as deprecated shims.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
+from typing import Optional, Sequence
 
-from repro.backend.executor import execute_graph, outputs_allclose
 from repro.core.config import TensatConfig
-from repro.core.stats import OptimizationStats
+from repro.core.registry import EXTRACTORS
+from repro.core.session import OptimizationResult, OptimizationSession
 from repro.costs.model import AnalyticCostModel, CostModel
 from repro.egraph.extraction.base import ExtractionResult
-from repro.egraph.extraction.greedy import GreedyExtractor
-from repro.egraph.extraction.ilp import ILPExtractor
-from repro.egraph.runner import Runner, RunnerLimits, RunnerReport, make_cycle_filter
-from repro.ir.convert import egraph_from_graph, recexpr_to_graph
 from repro.ir.graph import TensorGraph
-from repro.ir.validate import check_same_interface, validate_graph
 from repro.rules.library import RuleSet, default_ruleset
 
 __all__ = ["OptimizationResult", "TensatOptimizer", "optimize"]
-
-
-@dataclass
-class OptimizationResult:
-    """Everything produced by one optimization run."""
-
-    original: TensorGraph
-    optimized: TensorGraph
-    stats: OptimizationStats
-    runner_report: Optional[RunnerReport] = None
-    extraction: Optional[ExtractionResult] = None
-
-    @property
-    def speedup_percent(self) -> float:
-        return self.stats.speedup_percent
-
-    @property
-    def original_cost(self) -> float:
-        return self.stats.original_cost
-
-    @property
-    def optimized_cost(self) -> float:
-        return self.stats.optimized_cost
-
-    def summary(self) -> str:
-        s = self.stats
-        return (
-            f"{self.original.name}: cost {s.original_cost:.4f} ms -> {s.optimized_cost:.4f} ms "
-            f"({s.speedup_percent:+.1f}%), exploration {s.exploration_seconds:.2f}s "
-            f"({s.num_enodes} e-nodes, stop: {s.stop_reason}), "
-            f"extraction {s.extraction_seconds:.2f}s ({s.extraction_status})"
-        )
 
 
 class TensatOptimizer:
@@ -92,127 +60,53 @@ class TensatOptimizer:
 
     # ------------------------------------------------------------------ #
 
+    def session(self, graph: TensorGraph, observers: Sequence[object] = ()) -> OptimizationSession:
+        """Start an :class:`OptimizationSession` for ``graph`` (nothing runs yet)."""
+        return OptimizationSession(
+            graph,
+            cost_model=self.cost_model,
+            rules=self.rules,
+            config=self.config,
+            observers=observers,
+        )
+
+    def optimize(self, graph: TensorGraph, observers: Sequence[object] = ()) -> OptimizationResult:
+        """Optimize ``graph`` end-to-end (the one-shot session composition)."""
+        return self.session(graph, observers=observers).result()
+
+    # -- deprecated tuple-returning shims ------------------------------- #
+
     def explore(self, graph: TensorGraph):
-        """Run only the exploration phase; returns ``(egraph, root, cycle_filter, report)``."""
-        config = self.config
-        egraph, root = egraph_from_graph(graph)
-        cycle_filter = make_cycle_filter(config.cycle_filter)
-        limits = RunnerLimits(
-            node_limit=config.node_limit,
-            iter_limit=config.iter_limit,
-            time_limit=config.exploration_time_limit,
-            k_multi=config.k_multi,
-            max_multi_combinations=config.max_multi_combinations,
-            scheduler=config.scheduler,
-            match_limit=config.scheduler_match_limit,
-            ban_length=config.scheduler_ban_length,
-            matcher=config.matcher,
-            search_mode=config.search_mode,
-            use_delta=config.delta_matching,
-            multipattern_join=config.multipattern_join,
+        """Deprecated: use ``optimizer.session(graph).explore()``.
+
+        Returns the legacy ``(egraph, root, cycle_filter, report)`` tuple;
+        the session object carries the same state as attributes.
+        """
+        warnings.warn(
+            "TensatOptimizer.explore() is deprecated; use "
+            "TensatOptimizer.session(graph) and its explore()/step() methods",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        runner = Runner(
-            egraph,
-            rewrites=self.rules.rewrites,
-            multi_rewrites=self.rules.multi_rewrites,
-            limits=limits,
-            cycle_filter=cycle_filter,
-        )
-        report = runner.run()
-        return egraph, root, cycle_filter, report
+        session = self.session(graph)
+        report = session.explore()
+        return session.egraph, session.root, session.cycle_filter, report
 
     def extract(self, egraph, root, cycle_filter) -> ExtractionResult:
-        """Run only the extraction phase on an explored e-graph."""
-        config = self.config
-        node_cost = self.cost_model.extraction_cost_function()
-        if config.extraction == "greedy":
-            extractor = GreedyExtractor(node_cost, filter_list=cycle_filter.filter_list)
-        else:
-            extractor = ILPExtractor(
-                node_cost,
-                with_cycle_constraints=config.ilp_cycle_constraints,
-                integer_topo=config.ilp_integer_topo,
-                filter_list=cycle_filter.filter_list,
-                time_limit=config.ilp_time_limit,
-                backend=config.ilp_backend,
-                fallback_to_greedy=config.ilp_fallback_to_greedy,
-                mip_rel_gap=config.ilp_mip_gap,
-            )
-        return extractor.extract(egraph, root)
-
-    def _materialize(self, graph, egraph, root, cycle_filter, extraction):
-        """Turn the extracted term into a concrete graph, falling back when needed.
-
-        The tensor analysis attaches split locations (the cut position of the
-        most recent concat) to e-classes, but an e-class can end up holding
-        concats with *different* cut positions; an extraction that pairs a
-        ``split`` with the "other" concat then fails shape inference when the
-        concrete graph is rebuilt.  This is rare (it needs several interacting
-        merge rewrites, typically at k_multi >= 2) and the safe response is the
-        one TASO-style systems take: reject the candidate and fall back, first
-        to greedy extraction and ultimately to the original graph.
-        """
-        from repro.ir.tensor import ShapeError
-
-        try:
-            return recexpr_to_graph(extraction.expr, name=f"{graph.name}-optimized"), extraction
-        except (ShapeError, ValueError):
-            pass
-        try:
-            node_cost = self.cost_model.extraction_cost_function()
-            greedy = GreedyExtractor(node_cost, filter_list=cycle_filter.filter_list).extract(egraph, root)
-            optimized = recexpr_to_graph(greedy.expr, name=f"{graph.name}-optimized")
-            greedy.status = f"{extraction.status}_rejected_greedy_fallback"
-            return optimized, greedy
-        except (ShapeError, ValueError):
-            extraction.status = f"{extraction.status}_rejected_original_kept"
-            return graph, extraction
-
-    def optimize(self, graph: TensorGraph) -> OptimizationResult:
-        """Optimize ``graph`` end-to-end."""
-        config = self.config
-        t_start = time.perf_counter()
-        original_cost = self.cost_model.graph_cost(graph)
-
-        egraph, root, cycle_filter, report = self.explore(graph)
-
-        t_extract = time.perf_counter()
-        extraction = self.extract(egraph, root, cycle_filter)
-        extraction_seconds = time.perf_counter() - t_extract
-
-        optimized, extraction = self._materialize(graph, egraph, root, cycle_filter, extraction)
-        optimized_cost = self.cost_model.graph_cost(optimized)
-
-        # The e-graph always represents the original term, so extraction can
-        # never do worse than the input graph; guard against cost-model /
-        # bookkeeping regressions anyway.
-        if optimized_cost > original_cost + 1e-9:
-            optimized = graph
-            optimized_cost = original_cost
-
-        if config.validate_output:
-            validate_graph(optimized)
-            check_same_interface(graph, optimized)
-        if config.verify_numerically:
-            if not outputs_allclose(execute_graph(graph), execute_graph(optimized), rtol=1e-4, atol=1e-5):
-                raise RuntimeError(
-                    f"optimized graph for {graph.name!r} is not numerically equivalent to the original"
-                )
-
-        stats = OptimizationStats.from_runner_report(report)
-        stats.extraction_seconds = extraction_seconds
-        stats.total_seconds = time.perf_counter() - t_start
-        stats.original_cost = original_cost
-        stats.optimized_cost = optimized_cost
-        stats.extraction_status = extraction.status
-
-        return OptimizationResult(
-            original=graph,
-            optimized=optimized,
-            stats=stats,
-            runner_report=report,
-            extraction=extraction,
+        """Deprecated: use ``session.extract()`` on an :class:`OptimizationSession`."""
+        warnings.warn(
+            "TensatOptimizer.extract() is deprecated; use "
+            "OptimizationSession.extract() (or the EXTRACTORS registry directly)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        extractor = EXTRACTORS.create(
+            self.config.extraction,
+            node_cost=self.cost_model.extraction_cost_function(),
+            config=self.config,
+            filter_list=cycle_filter.filter_list,
+        )
+        return extractor.extract(egraph, root)
 
 
 def optimize(
@@ -220,6 +114,7 @@ def optimize(
     cost_model: Optional[CostModel] = None,
     rules: Optional[RuleSet] = None,
     config: Optional[TensatConfig] = None,
+    observers: Sequence[object] = (),
     **config_overrides,
 ) -> OptimizationResult:
     """One-call convenience wrapper around :class:`TensatOptimizer`.
@@ -230,4 +125,6 @@ def optimize(
     base = config if config is not None else TensatConfig()
     if config_overrides:
         base = base.with_overrides(**config_overrides)
-    return TensatOptimizer(cost_model=cost_model, rules=rules, config=base).optimize(graph)
+    return TensatOptimizer(cost_model=cost_model, rules=rules, config=base).optimize(
+        graph, observers=observers
+    )

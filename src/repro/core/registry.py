@@ -1,0 +1,201 @@
+"""Component registries: the single source of truth for pluggable strategies.
+
+Every pluggable piece of the pipeline -- extractors, rule schedulers,
+e-matcher implementations, search organisations, multi-pattern joins, cycle
+filters, ILP backends -- is named in exactly one place: a :class:`Registry`
+in this module.  :class:`~repro.core.config.TensatConfig` validation, the
+CLI's ``choices=`` lists, and the factory functions (``make_scheduler``,
+``make_cycle_filter``, the session's extractor construction, the
+multi-pattern ``combine``) all consult these registries, so a third-party
+component plugs in with one ``register`` call and no edits to
+``optimizer.py`` or ``cli.py``::
+
+    from repro.core.registry import SCHEDULERS
+
+    SCHEDULERS.register("alternating", lambda match_limit, ban_length: AlternatingScheduler())
+    config = TensatConfig(scheduler="alternating")   # now validates
+
+Factory signatures by registry:
+
+* ``SCHEDULERS``         -- ``factory(match_limit: int, ban_length: int) -> Scheduler``
+* ``EXTRACTORS``         -- ``factory(node_cost, config, filter_list) -> Extractor``
+* ``CYCLE_FILTERS``      -- ``factory() -> CycleFilter``
+* ``MULTIPATTERN_JOINS`` -- ``join(rule, egraph, per_source_matches, max_combinations) -> List[MultiMatch]``
+* ``MATCHERS`` / ``SEARCH_MODES`` / ``ILP_BACKENDS`` -- mode descriptors (the
+  entry value is a description string); the implementations are structural
+  dispatch inside :mod:`repro.egraph.runner` / :mod:`repro.egraph.extraction.ilp`,
+  so these registries govern the *valid names* only.
+
+This module must stay importable from :mod:`repro.egraph` modules' function
+bodies, so it may import from :mod:`repro.egraph` but never from
+:mod:`repro.core.config` or :mod:`repro.core.optimizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.egraph.cycles import EfficientCycleFilter, NoCycleFilter, VanillaCycleFilter
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.egraph.multipattern import MultiPatternRewrite
+from repro.egraph.scheduler import BackoffScheduler, SimpleScheduler
+
+__all__ = [
+    "Registry",
+    "CYCLE_FILTERS",
+    "EXTRACTORS",
+    "ILP_BACKENDS",
+    "MATCHERS",
+    "MULTIPATTERN_JOINS",
+    "SCHEDULERS",
+    "SEARCH_MODES",
+]
+
+
+class Registry:
+    """An ordered ``name -> component`` mapping with helpful errors.
+
+    Registration order is preserved: :meth:`names` returns the entries in the
+    order they were registered, which is the order the CLI presents them and
+    the first entry is conventionally the default.
+    """
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable component kind, used in error messages ("scheduler").
+        self.kind = kind
+        self._entries: Dict[str, object] = {}
+
+    # -- registration -------------------------------------------------- #
+
+    def register(self, name: str, value: Optional[object] = None):
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        Raises :class:`ValueError` if ``name`` is already taken (re-register
+        by calling :meth:`unregister` first -- silent replacement would make
+        component resolution order-of-import dependent).
+        """
+        if value is None:
+
+            def decorator(fn):
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = value
+        return value
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (mainly for tests and plugin teardown)."""
+        if name not in self._entries:
+            raise ValueError(self._unknown(name))
+        del self._entries[name]
+
+    # -- lookup -------------------------------------------------------- #
+
+    def get(self, name: str) -> object:
+        """Return the registered component, raising a listing error when unknown."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(self._unknown(name)) from None
+
+    def create(self, name: str, **kwargs):
+        """Call the registered factory with ``kwargs`` (see module docstring)."""
+        factory = self.get(name)
+        if not callable(factory):
+            raise TypeError(f"{self.kind} {name!r} is not constructible (entry is {factory!r})")
+        return factory(**kwargs)
+
+    def check(self, name: str) -> str:
+        """Validate that ``name`` is registered; return it (for chaining)."""
+        if name not in self._entries:
+            raise ValueError(self._unknown(name))
+        return name
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order (the first is the default)."""
+        return tuple(self._entries)
+
+    def _unknown(self, name: str) -> str:
+        return f"unknown {self.kind} {name!r}; available: {', '.join(self._entries) or '<none>'}"
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, names={list(self._entries)})"
+
+
+# --------------------------------------------------------------------- #
+# Built-in components.  Registration order == CLI presentation order,
+# first entry == the TensatConfig default.
+# --------------------------------------------------------------------- #
+
+#: Rule schedulers (exploration): which single-pattern rules run per iteration.
+SCHEDULERS = Registry("scheduler")
+SCHEDULERS.register("simple", lambda match_limit, ban_length: SimpleScheduler())
+SCHEDULERS.register(
+    "backoff",
+    lambda match_limit, ban_length: BackoffScheduler(match_limit=match_limit, ban_length=ban_length),
+)
+
+#: Extractors (post-saturation): select the cheapest represented graph.
+EXTRACTORS = Registry("extractor")
+
+
+@EXTRACTORS.register("ilp")
+def _make_ilp_extractor(node_cost, config, filter_list):
+    return ILPExtractor(
+        node_cost,
+        with_cycle_constraints=config.ilp_cycle_constraints,
+        integer_topo=config.ilp_integer_topo,
+        filter_list=filter_list,
+        time_limit=config.ilp_time_limit,
+        backend=config.ilp_backend,
+        fallback_to_greedy=config.ilp_fallback_to_greedy,
+        mip_rel_gap=config.ilp_mip_gap,
+    )
+
+
+@EXTRACTORS.register("greedy")
+def _make_greedy_extractor(node_cost, config, filter_list):
+    return GreedyExtractor(node_cost, filter_list=filter_list)
+
+
+#: Cycle-filtering strategies (paper Section 5.2).
+CYCLE_FILTERS = Registry("cycle filter")
+CYCLE_FILTERS.register("efficient", EfficientCycleFilter)
+CYCLE_FILTERS.register("vanilla", VanillaCycleFilter)
+CYCLE_FILTERS.register("none", NoCycleFilter)
+
+#: Multi-pattern match-combination joins.  Entries are callables
+#: ``(rule, egraph, per_source_matches, max_combinations) -> List[MultiMatch]``
+#: and every join must return the *identical* ordered combination list (the
+#: saturation trajectory is join-blind; ``product`` is the executable spec).
+MULTIPATTERN_JOINS = Registry("multipattern join")
+MULTIPATTERN_JOINS.register("hash", MultiPatternRewrite._combine_hash)
+MULTIPATTERN_JOINS.register("product", MultiPatternRewrite._combine_product)
+
+#: E-matcher implementations (mode descriptors; dispatch lives in the runner).
+MATCHERS = Registry("matcher")
+MATCHERS.register("vm", "compiled e-matching virtual machine (docs/ematching.md)")
+MATCHERS.register("naive", "interpretive reference matcher (the executable spec)")
+
+#: VM search organisations (mode descriptors; dispatch lives in the runner).
+SEARCH_MODES = Registry("search mode")
+SEARCH_MODES.register("trie", "one shared-prefix rule trie per root operator")
+SEARCH_MODES.register("per-rule", "one compiled program per rule")
+
+#: ILP solver backends (mode descriptors; dispatch lives in extraction/ilp.py).
+ILP_BACKENDS = Registry("ilp backend")
+ILP_BACKENDS.register("scipy", "HiGHS via scipy.optimize.milp")
+ILP_BACKENDS.register("bnb", "pure-Python branch and bound")

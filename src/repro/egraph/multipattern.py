@@ -168,18 +168,19 @@ class MultiPatternRewrite:
     ) -> List[MultiMatch]:
         """Combine the per-source match lists into compatible :class:`MultiMatch` es.
 
-        ``join`` selects the implementation: ``"product"`` (the executable
-        spec: enumerate the Cartesian product and filter) or ``"hash"`` (an
-        indexed equi-join on the shared variables).  Both return the *same
-        list* -- same combinations, same order, same ``max_combinations``
-        truncation -- so the saturation trajectory is join-blind; the
-        equivalence is property-tested in ``tests/test_multipattern.py``.
+        ``join`` names an entry of the
+        :data:`repro.core.registry.MULTIPATTERN_JOINS` registry (built-ins:
+        ``"product"``, the executable spec enumerating the Cartesian product
+        and filtering, and ``"hash"``, an indexed equi-join on the shared
+        variables).  Every join must return the *same list* -- same
+        combinations, same order, same ``max_combinations`` truncation -- so
+        the saturation trajectory is join-blind; the equivalence is
+        property-tested in ``tests/test_multipattern.py``.
         """
-        if join == "product":
-            return self._combine_product(egraph, per_source_matches, max_combinations)
-        if join == "hash":
-            return self._combine_hash(egraph, per_source_matches, max_combinations)
-        raise ValueError(f"unknown join {join!r}; expected 'hash' or 'product'")
+        from repro.core.registry import MULTIPATTERN_JOINS
+
+        join_fn = MULTIPATTERN_JOINS.get(join)
+        return join_fn(self, egraph, per_source_matches, max_combinations)
 
     def _combine_product(
         self,

@@ -1,6 +1,10 @@
 """The exploration-phase driver (saturation runner).
 
-The runner repeatedly searches and applies rewrite rules until one of:
+The runner is steppable: :meth:`Runner.step` executes one iteration and the
+e-graph is inspectable between steps (:meth:`Runner.run` is the loop to
+completion).  Observers receive the iteration event stream (see
+:mod:`repro.core.events`).  The runner repeatedly searches and applies
+rewrite rules until one of:
 
 * **saturation** -- an iteration adds no new information to the e-graph,
 * the e-graph exceeds a node limit (paper: ``N_max = 50000``),
@@ -50,7 +54,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.egraph.applier import ApplyPlan
-from repro.egraph.cycles import CycleFilter, EfficientCycleFilter, FilterList, NoCycleFilter, VanillaCycleFilter
+from repro.egraph.cycles import CycleFilter, FilterList, NoCycleFilter
 from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import naive_search_pattern
 from repro.egraph.machine import IncrementalMatcher, TrieMatcher
@@ -58,7 +62,15 @@ from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.scheduler import Scheduler, make_scheduler
 
-__all__ = ["StopReason", "IterationReport", "RunnerReport", "RunnerLimits", "Runner", "make_cycle_filter"]
+__all__ = [
+    "StopReason",
+    "IterationReport",
+    "RunnerReport",
+    "RunnerLimits",
+    "Runner",
+    "collect_trie_patterns",
+    "make_cycle_filter",
+]
 
 
 class StopReason(enum.Enum):
@@ -178,15 +190,32 @@ class RunnerLimits:
 
 
 def make_cycle_filter(kind: str) -> CycleFilter:
-    """Factory for the cycle-filtering strategies: ``"none"``, ``"vanilla"``, ``"efficient"``."""
-    kind = kind.lower()
-    if kind == "none":
-        return NoCycleFilter()
-    if kind == "vanilla":
-        return VanillaCycleFilter()
-    if kind == "efficient":
-        return EfficientCycleFilter()
-    raise ValueError(f"unknown cycle filter {kind!r}; expected 'none', 'vanilla', or 'efficient'")
+    """Factory for the cycle-filtering strategies, backed by the
+    :data:`~repro.core.registry.CYCLE_FILTERS` registry (``"efficient"``,
+    ``"vanilla"``, ``"none"``, plus anything third parties register)."""
+    from repro.core.registry import CYCLE_FILTERS
+
+    return CYCLE_FILTERS.create(kind.lower())
+
+
+def collect_trie_patterns(
+    rewrites: Sequence[Rewrite], multi_searcher: Optional[MultiPatternSearcher]
+) -> "tuple[list, List[str]]":
+    """The pattern list a trie-mode runner compiles, plus the multi keys.
+
+    Single-pattern LHS patterns come first (index == rule index); the unique
+    canonical multi-pattern source patterns follow, keyed so the runner can
+    split one ``search_all`` result back per rule.  A shared batch front door
+    (:func:`repro.core.batch.optimize_many`) uses the same helper to compile
+    one :class:`~repro.egraph.machine.TrieMatcher` reused across runs.
+    """
+    patterns = [rw.lhs for rw in rewrites]
+    keys: List[str] = []
+    if multi_searcher is not None:
+        for key, pattern in multi_searcher.canonical_patterns():
+            keys.append(key)
+            patterns.append(pattern)
+    return patterns, keys
 
 
 class Runner:
@@ -205,6 +234,18 @@ class Runner:
         Node / iteration / time limits.
     cycle_filter:
         Cycle-filtering strategy; default is no filtering.
+    observers:
+        Objects receiving the exploration event stream
+        (:class:`~repro.core.events.OptimizationObserver` hooks:
+        ``on_iteration_start`` / ``on_match_batch`` / ``on_iteration_end``).
+        Observers are notified synchronously and must not mutate the e-graph.
+    trie_matcher:
+        A pre-compiled :class:`~repro.egraph.machine.TrieMatcher` to use
+        instead of compiling one (trie search mode only).  It must have been
+        built over :func:`collect_trie_patterns` of the *same* rules; the
+        batch front door uses this to share one compiled trie across runs.
+        The matcher's per-e-graph cache resets itself on a new e-graph, so
+        sharing never changes results.
     """
 
     def __init__(
@@ -214,26 +255,29 @@ class Runner:
         multi_rewrites: Sequence[MultiPatternRewrite] = (),
         limits: Optional[RunnerLimits] = None,
         cycle_filter: Optional[CycleFilter] = None,
+        observers: Sequence[object] = (),
+        trie_matcher: Optional[TrieMatcher] = None,
     ) -> None:
+        # Validation is registry-backed so third-party modes registered in
+        # repro.core.registry are accepted here without edits (lazy import:
+        # repro.egraph must stay importable without repro.core).
+        from repro.core.events import dispatch_event
+        from repro.core.registry import MATCHERS, MULTIPATTERN_JOINS, SEARCH_MODES
+
+        self._dispatch = dispatch_event
         self.egraph = egraph
         self.rewrites = list(rewrites)
         self.multi_rewrites = list(multi_rewrites)
         self.limits = limits if limits is not None else RunnerLimits()
-        if self.limits.matcher not in ("vm", "naive"):
-            raise ValueError(f"unknown matcher {self.limits.matcher!r}; expected 'vm' or 'naive'")
-        if self.limits.search_mode not in ("trie", "per-rule"):
-            raise ValueError(
-                f"unknown search mode {self.limits.search_mode!r}; expected 'trie' or 'per-rule'"
-            )
-        if self.limits.multipattern_join not in ("hash", "product"):
-            raise ValueError(
-                f"unknown multipattern join {self.limits.multipattern_join!r}; expected 'hash' or 'product'"
-            )
+        MATCHERS.check(self.limits.matcher)
+        SEARCH_MODES.check(self.limits.search_mode)
+        MULTIPATTERN_JOINS.check(self.limits.multipattern_join)
         # Raises on an unknown scheduler kind, same as the matcher checks.
         self.scheduler: Scheduler = make_scheduler(
             self.limits.scheduler, self.limits.match_limit, self.limits.ban_length
         )
         self.cycle_filter = cycle_filter if cycle_filter is not None else NoCycleFilter()
+        self.observers = tuple(observers)
         self._multi_searcher = MultiPatternSearcher(self.multi_rewrites) if self.multi_rewrites else None
         # Compiled search state (VM only).  "trie": one shared-prefix trie
         # matcher over all single-pattern rules *plus* the unique canonical
@@ -247,66 +291,111 @@ class Runner:
         self._multi_keys: List[str] = []
         if self.limits.matcher == "vm":
             if self.limits.search_mode == "trie":
-                patterns = [rw.lhs for rw in self.rewrites]
-                if self._multi_searcher is not None:
-                    for key, pattern in self._multi_searcher.canonical_patterns():
-                        self._multi_keys.append(key)
-                        patterns.append(pattern)
+                patterns, self._multi_keys = collect_trie_patterns(self.rewrites, self._multi_searcher)
                 if patterns:
-                    self._trie_matcher = TrieMatcher(patterns)
+                    self._trie_matcher = trie_matcher if trie_matcher is not None else TrieMatcher(patterns)
             else:
                 self._matchers = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
         # E-classes dirtied by the previous iteration; None forces a full
         # search (iteration 0, naive matcher, or delta matching disabled).
         self._delta: Optional[Set[int]] = None
+        # Stepping state: iteration reports so far, accumulated in-step time
+        # (the budget the time limit is charged against -- wall-clock pauses
+        # between step() calls are free), and the stop reason once decided.
+        self._reports: List[IterationReport] = []
+        self._elapsed = 0.0
+        self._started = False
+        self._stop: Optional[StopReason] = None
 
     @property
     def filter_list(self) -> FilterList:
         return self.cycle_filter.filter_list
 
+    @property
+    def iterations(self) -> List[IterationReport]:
+        """Per-iteration reports so far (inspectable between steps)."""
+        return list(self._reports)
+
+    @property
+    def stop_reason(self) -> Optional[StopReason]:
+        """Why exploration stopped, or None while it can still step."""
+        return self._stop
+
+    @property
+    def done(self) -> bool:
+        return self._stop is not None
+
+    def _emit(self, event: str, *args) -> None:
+        # Bound in __init__ (lazy import: repro.egraph must stay importable
+        # without repro.core at module-import time).
+        self._dispatch(self.observers, event, *args)
+
     # ------------------------------------------------------------------ #
+
+    def step(self) -> Optional[IterationReport]:
+        """Run one exploration iteration; None when exploration has stopped.
+
+        The first call drains the e-graph's seeding dirty marks (iteration 0
+        always searches the full e-graph).  After the iteration, the stop
+        conditions are evaluated in the same order as :meth:`run` always
+        used -- saturation, node limit, time limit, iteration limit -- so a
+        step-at-a-time loop walks the exact trajectory of a one-shot run.
+        """
+        if self._stop is not None:
+            return None
+        t0 = time.perf_counter()
+        if not self._started:
+            # Iteration 0 always searches the whole e-graph, so the dirty
+            # marks accumulated while the caller seeded it carry no
+            # information; drain them so iteration 1's delta covers only
+            # iteration 0's changes.
+            self.egraph.take_dirty()
+            self._delta = None
+            self._started = True
+
+        iteration = len(self._reports)
+        if iteration >= self.limits.iter_limit:
+            self._stop = StopReason.ITERATION_LIMIT
+            return None
+        if self._elapsed > self.limits.time_limit:
+            self._stop = StopReason.TIME_LIMIT
+            return None
+        if self.egraph.num_enodes > self.limits.node_limit:
+            self._stop = StopReason.NODE_LIMIT
+            return None
+
+        report = self._run_iteration(iteration)
+        self._reports.append(report)
+        self._elapsed += time.perf_counter() - t0
+
+        if report.n_applied == 0 and report.n_rules_banned == 0:
+            self._stop = StopReason.SATURATED
+        elif self.egraph.num_enodes > self.limits.node_limit:
+            self._stop = StopReason.NODE_LIMIT
+        elif self._elapsed > self.limits.time_limit:
+            self._stop = StopReason.TIME_LIMIT
+        elif len(self._reports) >= self.limits.iter_limit:
+            self._stop = StopReason.ITERATION_LIMIT
+        return report
 
     def run(self) -> RunnerReport:
         """Run the exploration loop until saturation or a limit is hit."""
-        start = time.perf_counter()
-        reports: List[IterationReport] = []
-        stop = StopReason.ITERATION_LIMIT
+        while self.step() is not None:
+            pass
+        return self.report()
 
-        # Iteration 0 always searches the whole e-graph, so the dirty marks
-        # accumulated while the caller seeded it carry no information; drain
-        # them so iteration 1's delta covers only iteration 0's changes.
-        self.egraph.take_dirty()
-        self._delta = None
-
-        for iteration in range(self.limits.iter_limit):
-            elapsed = time.perf_counter() - start
-            if elapsed > self.limits.time_limit:
-                stop = StopReason.TIME_LIMIT
-                break
-            if self.egraph.num_enodes > self.limits.node_limit:
-                stop = StopReason.NODE_LIMIT
-                break
-
-            report = self._run_iteration(iteration)
-            reports.append(report)
-
-            if report.n_applied == 0 and report.n_rules_banned == 0:
-                stop = StopReason.SATURATED
-                break
-            if self.egraph.num_enodes > self.limits.node_limit:
-                stop = StopReason.NODE_LIMIT
-                break
-            if time.perf_counter() - start > self.limits.time_limit:
-                stop = StopReason.TIME_LIMIT
-                break
-        else:
-            stop = StopReason.ITERATION_LIMIT
-
-        total = time.perf_counter() - start
+    def report(self) -> RunnerReport:
+        """Aggregate report; exploration must have stopped (see :meth:`step`)."""
+        if self._stop is None:
+            raise RuntimeError(
+                "exploration has not stopped; keep calling step() (or use run()), "
+                "or inspect the in-progress state via Runner.iterations"
+            )
+        reports = self._reports
         return RunnerReport(
-            stop_reason=stop,
-            iterations=reports,
-            total_seconds=total,
+            stop_reason=self._stop,
+            iterations=list(reports),
+            total_seconds=self._elapsed,
             n_enodes=self.egraph.num_enodes,
             n_eclasses=self.egraph.num_eclasses,
             n_filtered=len(self.filter_list),
@@ -320,6 +409,7 @@ class Runner:
 
     def _run_iteration(self, iteration: int) -> IterationReport:
         t0 = time.perf_counter()
+        self._emit("on_iteration_start", iteration, self.egraph)
         report = IterationReport(index=iteration)
         unions_before = self.egraph.num_unions
         enodes_before = self.egraph.num_enodes
@@ -395,13 +485,16 @@ class Runner:
         plan = ApplyPlan()
         for rule, combos in multi_matches:
             report.n_matches += len(combos)
+            self._emit("on_match_batch", iteration, rule.name, len(combos), True)
             for combo in combos:
                 plan.add_multi(rule, combo)
         for rule_index, matches in enumerate(single_matches):
             if matches is None:
                 continue
             report.n_matches += len(matches)
-            if not self.scheduler.admit_matches(rule_index, iteration, len(matches)):
+            admitted = self.scheduler.admit_matches(rule_index, iteration, len(matches))
+            self._emit("on_match_batch", iteration, self.rewrites[rule_index].name, len(matches), admitted)
+            if not admitted:
                 report.n_rules_banned += 1
                 continue
             rewrite = self.rewrites[rule_index]
@@ -440,4 +533,5 @@ class Runner:
         report.n_enodes = self.egraph.num_enodes
         report.n_eclasses = self.egraph.num_eclasses
         report.seconds = time.perf_counter() - t0
+        self._emit("on_iteration_end", iteration, report)
         return report

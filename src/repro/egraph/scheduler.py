@@ -94,19 +94,21 @@ class BackoffScheduler(Scheduler):
         return True
 
 
+#: Legacy snapshot of the built-in scheduler names; the live list (including
+#: third-party registrations) is ``repro.core.registry.SCHEDULERS.names()``.
 SCHEDULERS = ("simple", "backoff")
 
 
 def make_scheduler(kind: str, match_limit: int = 1_000, ban_length: int = 5) -> Scheduler:
     """Factory mirroring :func:`~repro.egraph.runner.make_cycle_filter`.
 
-    ``kind`` is one of :data:`SCHEDULERS` (``"simple"`` or ``"backoff"``;
-    the ``match_limit`` / ``ban_length`` budgets only apply to backoff).
-    Raises :class:`ValueError` on anything else, so configuration typos
-    surface at runner construction, not mid-exploration.
+    ``kind`` names an entry of the :data:`repro.core.registry.SCHEDULERS`
+    registry (built-ins: ``"simple"`` and ``"backoff"``; the ``match_limit``
+    / ``ban_length`` budgets only apply to backoff -- factories receive both
+    and ignore what they do not use).  Raises :class:`ValueError` on an
+    unregistered name, so configuration typos surface at runner
+    construction, not mid-exploration.
     """
-    if kind == "simple":
-        return SimpleScheduler()
-    if kind == "backoff":
-        return BackoffScheduler(match_limit=match_limit, ban_length=ban_length)
-    raise ValueError(f"unknown scheduler {kind!r}; expected 'simple' or 'backoff'")
+    from repro.core.registry import SCHEDULERS as registry
+
+    return registry.create(kind, match_limit=match_limit, ban_length=ban_length)

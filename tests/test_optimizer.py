@@ -72,10 +72,10 @@ class TestOptimizeEndToEnd:
         assert result.summary()
 
     def test_explore_and_extract_separately(self, shared_matmul_graph):
-        optimizer = TensatOptimizer(config=FAST)
-        egraph, root, cycle_filter, report = optimizer.explore(shared_matmul_graph)
+        session = TensatOptimizer(config=FAST).session(shared_matmul_graph)
+        report = session.explore()
         assert report.num_iterations >= 1
-        extraction = optimizer.extract(egraph, root, cycle_filter)
+        extraction = session.extract()
         assert extraction.expr is not None
 
     def test_custom_rules_subset(self, shared_matmul_graph):

@@ -1,22 +1,25 @@
-"""Regression tests for ``TensatOptimizer._materialize``'s fallback chain.
+"""Regression tests for the materialization fallback chain.
 
 An extraction can select a term that fails shape inference when rebuilt into
-a concrete graph (mixed split locations in one e-class; see the method's
-docstring).  The safe response is staged: reject the candidate and re-extract
-greedily, and if that also fails, keep the original graph.  These tests drive
-each stage directly.
+a concrete graph (mixed split locations in one e-class; see
+:func:`repro.core.session.materialize_extraction`).  The safe response is
+staged: reject the candidate and re-extract greedily, and if that also
+fails, keep the original graph.  These tests drive each stage directly.
+The effective status is *returned* alongside the result -- the passed-in
+:class:`ExtractionResult` is never mutated in place.
 """
 
 from __future__ import annotations
 
 import pytest
 
-import repro.core.optimizer as optimizer_module
+import repro.core.session as session_module
 from repro.core.config import TensatConfig
 from repro.core.optimizer import TensatOptimizer
+from repro.core.session import OptimizationSession, materialize_extraction
+from repro.costs import AnalyticCostModel
 from repro.egraph.extraction.base import ExtractionResult
 from repro.egraph.language import RecExpr
-from repro.ir.graph import GraphBuilder
 
 CONFIG = TensatConfig.fast()
 
@@ -27,9 +30,9 @@ BAD_EXPR = RecExpr.parse('(matmul 0 (input "x@8 64") (weight "w@7 5"))')
 
 @pytest.fixture
 def explored(shared_matmul_graph):
-    optimizer = TensatOptimizer(config=CONFIG)
-    egraph, root, cycle_filter, _report = optimizer.explore(shared_matmul_graph)
-    return optimizer, shared_matmul_graph, egraph, root, cycle_filter
+    session = OptimizationSession(shared_matmul_graph, config=CONFIG)
+    session.explore()
+    return session
 
 
 def _bad_extraction() -> ExtractionResult:
@@ -37,16 +40,23 @@ def _bad_extraction() -> ExtractionResult:
 
 
 def test_rejected_ilp_falls_back_to_greedy(explored):
-    optimizer, graph, egraph, root, cycle_filter = explored
-    optimized, extraction = optimizer._materialize(graph, egraph, root, cycle_filter, _bad_extraction())
-    # The greedy re-extraction succeeds and its provenance is recorded.
-    assert extraction.status == "ilp_optimal_rejected_greedy_fallback"
-    assert optimized is not graph
-    assert optimized.name == f"{graph.name}-optimized"
+    session = explored
+    bad = _bad_extraction()
+    optimized, extraction, status = materialize_extraction(
+        session.graph, session.egraph, session.root, session.cycle_filter, bad, session.cost_model
+    )
+    # The greedy re-extraction succeeds; the provenance lives in the returned
+    # status, and neither ExtractionResult was mutated to carry it.
+    assert status == "ilp_optimal_rejected_greedy_fallback"
+    assert bad.status == "ilp_optimal"
+    assert extraction is not bad
+    assert "rejected" not in extraction.status
+    assert optimized is not session.graph
+    assert optimized.name == f"{session.graph.name}-optimized"
 
 
 def test_rejected_greedy_keeps_original(explored, monkeypatch):
-    optimizer, graph, egraph, root, cycle_filter = explored
+    session = explored
 
     class AlwaysBadGreedy:
         def __init__(self, *args, **kwargs):
@@ -55,32 +65,66 @@ def test_rejected_greedy_keeps_original(explored, monkeypatch):
         def extract(self, egraph, root):
             return _bad_extraction()
 
-    monkeypatch.setattr(optimizer_module, "GreedyExtractor", AlwaysBadGreedy)
-    extraction = _bad_extraction()
-    optimized, returned = optimizer._materialize(graph, egraph, root, cycle_filter, extraction)
-    # Both stages failed: the original graph is kept, the first extraction's
-    # status records the terminal rejection.
-    assert optimized is graph
-    assert returned is extraction
-    assert returned.status == "ilp_optimal_rejected_original_kept"
+    monkeypatch.setattr(session_module, "GreedyExtractor", AlwaysBadGreedy)
+    bad = _bad_extraction()
+    optimized, returned, status = materialize_extraction(
+        session.graph, session.egraph, session.root, session.cycle_filter, bad, session.cost_model
+    )
+    # Both stages failed: the original graph is kept, the terminal rejection
+    # is recorded in the returned status, and the extraction is untouched.
+    assert optimized is session.graph
+    assert returned is bad
+    assert returned.status == "ilp_optimal"
+    assert status == "ilp_optimal_rejected_original_kept"
 
 
 def test_healthy_extraction_passes_through(explored):
-    optimizer, graph, egraph, root, cycle_filter = explored
-    healthy = optimizer.extract(egraph, root, cycle_filter)
-    optimized, returned = optimizer._materialize(graph, egraph, root, cycle_filter, healthy)
+    session = explored
+    healthy = session.extract()
+    optimized, returned, status = materialize_extraction(
+        session.graph, session.egraph, session.root, session.cycle_filter, healthy, session.cost_model
+    )
     assert returned is healthy
-    assert "rejected" not in returned.status
+    assert status == healthy.status
+    assert "rejected" not in status
 
 
 def test_end_to_end_optimize_survives_bad_primary_extraction(shared_matmul_graph, monkeypatch):
     """The full pipeline stays correct when the primary extraction is rejected."""
-    optimizer = TensatOptimizer(config=CONFIG)
-    monkeypatch.setattr(
-        TensatOptimizer, "extract", lambda self, egraph, root, cycle_filter: _bad_extraction()
-    )
-    result = optimizer.optimize(shared_matmul_graph)
+
+    def bad_extract(self):
+        if self.extraction is None:
+            self.extraction = _bad_extraction()
+            self.extraction_status = self.extraction.status
+        return self.extraction
+
+    monkeypatch.setattr(OptimizationSession, "extract", bad_extract)
+    result = TensatOptimizer(config=CONFIG).optimize(shared_matmul_graph)
     assert result.stats.extraction_status.startswith("ilp_optimal_rejected")
     # Whatever fallback stage won, the output must be a valid graph no more
     # expensive than the input.
     assert result.optimized_cost <= result.original_cost + 1e-9
+
+
+def test_regression_guard_records_status(shared_matmul_graph):
+    """A cost-model regression on the materialized graph keeps the original
+    and records the guard in the extraction status (it is never silent)."""
+
+    class InflatingCostModel(AnalyticCostModel):
+        # The materialized candidate is always named "<input>-optimized", so
+        # inflating its graph cost forces the guard while extraction itself
+        # (which uses the per-node cost function) behaves normally.
+        def graph_cost(self, graph):
+            cost = super().graph_cost(graph)
+            if graph.name.endswith("-optimized"):
+                return cost * 100.0
+            return cost
+
+    result = TensatOptimizer(cost_model=InflatingCostModel(), config=CONFIG).optimize(
+        shared_matmul_graph
+    )
+    assert result.optimized is result.original
+    assert result.optimized_cost == result.original_cost
+    assert result.stats.extraction_status.endswith("_regression_guard_original_kept")
+    # The ExtractionResult itself is not rewritten by the guard.
+    assert "regression_guard" not in result.extraction.status

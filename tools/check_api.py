@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Fail when the public API surface drifts from its sources of truth.
+
+Three checks:
+
+1. every name in ``repro.__all__`` actually imports (no stale exports),
+2. every CLI ``choices=`` list for a strategy knob equals the corresponding
+   component registry's names (no hand-maintained tuples),
+3. the legacy ``*_CHOICES`` snapshot tuples in ``repro.core.config`` match
+   the registries they snapshot.
+
+Run from anywhere::
+
+    python tools/check_api.py
+
+Exit status 0 when the surface is consistent, 1 otherwise (problems listed
+on stderr).  CI runs this in the ``docs`` job next to the link check.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.cli import build_parser  # noqa: E402
+from repro.core import config as config_module  # noqa: E402
+from repro.core.registry import (  # noqa: E402
+    CYCLE_FILTERS,
+    EXTRACTORS,
+    MATCHERS,
+    MULTIPATTERN_JOINS,
+    SCHEDULERS,
+    SEARCH_MODES,
+)
+from repro.models import MODEL_NAMES  # noqa: E402
+
+#: CLI argument dest -> the registry its choices must equal.
+CLI_REGISTRY_KNOBS = {
+    "matcher": MATCHERS,
+    "search_mode": SEARCH_MODES,
+    "scheduler": SCHEDULERS,
+    "multipattern_join": MULTIPATTERN_JOINS,
+    "extraction": EXTRACTORS,
+    "cycle_filter": CYCLE_FILTERS,
+}
+
+#: config-module snapshot tuple -> the registry it snapshots.
+CONFIG_SNAPSHOTS = {
+    "MATCHER_CHOICES": MATCHERS,
+    "SCHEDULER_CHOICES": SCHEDULERS,
+    "SEARCH_MODE_CHOICES": SEARCH_MODES,
+    "MULTIPATTERN_JOIN_CHOICES": MULTIPATTERN_JOINS,
+    "CYCLE_FILTER_CHOICES": CYCLE_FILTERS,
+    "EXTRACTION_CHOICES": EXTRACTORS,
+}
+
+
+def check_exports() -> list:
+    """Every ``repro.__all__`` name resolves to a real attribute."""
+    problems = []
+    for name in repro.__all__:
+        if not hasattr(repro, name):
+            problems.append(f"repro.__all__ exports {name!r} but repro has no such attribute")
+    return problems
+
+
+def _subcommand_parsers(parser):
+    for action in parser._actions:
+        choices = getattr(action, "choices", None)
+        if isinstance(choices, dict):
+            return choices
+    return {}
+
+
+def check_cli_choices() -> list:
+    """Every strategy knob's CLI ``choices=`` equals its registry's names."""
+    problems = []
+    subcommands = _subcommand_parsers(build_parser())
+    if not subcommands:
+        return ["CLI parser has no subcommands"]
+    seen = set()
+    for command, subparser in subcommands.items():
+        for action in subparser._actions:
+            registry = CLI_REGISTRY_KNOBS.get(action.dest)
+            if registry is None:
+                continue
+            seen.add(action.dest)
+            choices = tuple(action.choices or ())
+            if choices != registry.names():
+                problems.append(
+                    f"CLI '{command} --{action.dest.replace('_', '-')}' choices {choices} "
+                    f"!= {registry.kind} registry {registry.names()}"
+                )
+        model_action = next((a for a in subparser._actions if a.dest == "model"), None)
+        if model_action is not None and tuple(model_action.choices or ()) != tuple(MODEL_NAMES):
+            problems.append(f"CLI '{command} --model' choices drifted from MODEL_NAMES")
+    missing = set(CLI_REGISTRY_KNOBS) - seen
+    if missing:
+        problems.append(f"no CLI flag exposes the registry-backed knob(s): {sorted(missing)}")
+    return problems
+
+
+def check_config_snapshots() -> list:
+    """The legacy ``*_CHOICES`` tuples still mirror the registries."""
+    problems = []
+    for attr, registry in CONFIG_SNAPSHOTS.items():
+        snapshot = getattr(config_module, attr, None)
+        if snapshot != registry.names():
+            problems.append(
+                f"repro.core.config.{attr} == {snapshot!r} != {registry.kind} "
+                f"registry {registry.names()!r}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_exports() + check_cli_choices() + check_config_snapshots()
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"\n{len(problems)} API-surface problem(s)", file=sys.stderr)
+        return 1
+    n_knobs = len(CLI_REGISTRY_KNOBS)
+    print(
+        f"ok: {len(repro.__all__)} exports import, {n_knobs} CLI strategy knobs "
+        "match their registries, config snapshots consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
