@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from repro.core import TensatConfig, compare, optimize
 from repro.core.registry import (
+    CONDITION_CACHES,
     CYCLE_FILTERS,
     EXTRACTORS,
     MATCHERS,
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=_CONFIG_DEFAULTS.multipattern_join,
         help="multi-pattern match combination: indexed hash join or Cartesian product",
     )
+    opt.add_argument(
+        "--condition-cache", choices=CONDITION_CACHES.names(),
+        default=_CONFIG_DEFAULTS.condition_cache,
+        help="shape/condition-check caching: generation-invalidated memo or direct evaluation",
+    )
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
 
@@ -103,6 +109,7 @@ def _config_from_args(args) -> TensatConfig:
         search_mode=args.search_mode,
         scheduler=args.scheduler,
         multipattern_join=args.multipattern_join,
+        condition_cache=args.condition_cache,
     )
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.registry import (
+    CONDITION_CACHES,
     CYCLE_FILTERS,
     EXTRACTORS,
     ILP_BACKENDS,
@@ -21,6 +22,7 @@ __all__ = [
     "SCHEDULER_CHOICES",
     "SEARCH_MODE_CHOICES",
     "MULTIPATTERN_JOIN_CHOICES",
+    "CONDITION_CACHE_CHOICES",
     "CYCLE_FILTER_CHOICES",
     "EXTRACTION_CHOICES",
 ]
@@ -33,6 +35,7 @@ MATCHER_CHOICES = MATCHERS.names()
 SCHEDULER_CHOICES = SCHEDULERS.names()
 SEARCH_MODE_CHOICES = SEARCH_MODES.names()
 MULTIPATTERN_JOIN_CHOICES = MULTIPATTERN_JOINS.names()
+CONDITION_CACHE_CHOICES = CONDITION_CACHES.names()
 CYCLE_FILTER_CHOICES = CYCLE_FILTERS.names()
 EXTRACTION_CHOICES = EXTRACTORS.names()
 
@@ -43,6 +46,7 @@ _KNOB_REGISTRIES = (
     ("matcher", MATCHERS),
     ("search_mode", SEARCH_MODES),
     ("multipattern_join", MULTIPATTERN_JOINS),
+    ("condition_cache", CONDITION_CACHES),
     ("cycle_filter", CYCLE_FILTERS),
     ("ilp_backend", ILP_BACKENDS),
 )
@@ -102,6 +106,12 @@ class TensatConfig:
     #: spec).  Both produce identical combination lists, so the saturation
     #: trajectory is join-blind; see docs/multipattern.md.
     multipattern_join: str = "hash"
+    #: Shape/condition-check caching: "memo" (default) memoizes condition
+    #: verdicts per (rule, canonical binding), invalidated at each rebuild
+    #: for the e-classes whose state changed; "off" re-evaluates every check.
+    #: Identical match lists (and trajectories) either way -- pinned by the
+    #: golden tests; see docs/apply_plan.md.
+    condition_cache: str = "memo"
 
     # ------------------------------------------------------------------ #
     # Cycle handling

@@ -98,9 +98,11 @@ class PhaseTimingObserver(OptimizationObserver):
 
     ``phase_seconds`` maps each completed pipeline phase to its duration;
     the ``search_seconds`` / ``apply_seconds`` / ``rebuild_seconds`` /
-    ``multi_join_seconds`` attributes break exploration down by pipeline
-    stage, summed over iterations (``per_iteration`` keeps the unsummed
-    per-iteration values for profiles).
+    ``multi_join_seconds`` / ``condition_seconds`` attributes break
+    exploration down by pipeline stage, summed over iterations
+    (``per_iteration`` keeps the unsummed per-iteration values for
+    profiles); ``condition_cache_hits`` / ``condition_cache_misses``
+    aggregate the condition-check cache traffic.
     """
 
     def __init__(self) -> None:
@@ -110,6 +112,9 @@ class PhaseTimingObserver(OptimizationObserver):
         self.apply_seconds = 0.0
         self.rebuild_seconds = 0.0
         self.multi_join_seconds = 0.0
+        self.condition_seconds = 0.0
+        self.condition_cache_hits = 0
+        self.condition_cache_misses = 0
         self.per_iteration: List[Dict[str, float]] = []
 
     def on_phase(self, phase: str, seconds: float) -> None:
@@ -121,12 +126,16 @@ class PhaseTimingObserver(OptimizationObserver):
         self.apply_seconds += report.apply_seconds
         self.rebuild_seconds += report.rebuild_seconds
         self.multi_join_seconds += report.multi_join_seconds
+        self.condition_seconds += report.condition_seconds
+        self.condition_cache_hits += report.condition_cache_hits
+        self.condition_cache_misses += report.condition_cache_misses
         self.per_iteration.append(
             {
                 "search_seconds": report.search_seconds,
                 "apply_seconds": report.apply_seconds,
                 "rebuild_seconds": report.rebuild_seconds,
                 "multi_join_seconds": report.multi_join_seconds,
+                "condition_seconds": report.condition_seconds,
             }
         )
 

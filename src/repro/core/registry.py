@@ -20,7 +20,8 @@ Factory signatures by registry:
 * ``SCHEDULERS``         -- ``factory(match_limit: int, ban_length: int) -> Scheduler``
 * ``EXTRACTORS``         -- ``factory(node_cost, config, filter_list) -> Extractor``
 * ``CYCLE_FILTERS``      -- ``factory() -> CycleFilter``
-* ``MULTIPATTERN_JOINS`` -- ``join(rule, egraph, per_source_matches, max_combinations) -> List[MultiMatch]``
+* ``MULTIPATTERN_JOINS`` -- ``join(rule, egraph, per_source_matches, max_combinations, checker=None) -> List[MultiMatch]``
+* ``CONDITION_CACHES``   -- ``factory() -> ConditionChecker``
 * ``MATCHERS`` / ``SEARCH_MODES`` / ``ILP_BACKENDS`` -- mode descriptors (the
   entry value is a description string); the implementations are structural
   dispatch inside :mod:`repro.egraph.runner` / :mod:`repro.egraph.extraction.ilp`,
@@ -35,6 +36,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
+from repro.egraph.checkcache import DirectConditionChecker, MemoizedConditionChecker
 from repro.egraph.cycles import EfficientCycleFilter, NoCycleFilter, VanillaCycleFilter
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.extraction.ilp import ILPExtractor
@@ -43,6 +45,7 @@ from repro.egraph.scheduler import BackoffScheduler, SimpleScheduler
 
 __all__ = [
     "Registry",
+    "CONDITION_CACHES",
     "CYCLE_FILTERS",
     "EXTRACTORS",
     "ILP_BACKENDS",
@@ -184,6 +187,15 @@ CYCLE_FILTERS.register("none", NoCycleFilter)
 MULTIPATTERN_JOINS = Registry("multipattern join")
 MULTIPATTERN_JOINS.register("hash", MultiPatternRewrite._combine_hash)
 MULTIPATTERN_JOINS.register("product", MultiPatternRewrite._combine_product)
+
+#: Condition-check caching (paper Section 4 shape checks).  Entries are
+#: factories ``() -> ConditionChecker``: "memo" memoizes verdicts per
+#: canonical binding with generation invalidation at each rebuild, "off"
+#: evaluates every check directly.  Both yield identical match lists, so the
+#: saturation trajectory is cache-blind (pinned by the golden tests).
+CONDITION_CACHES = Registry("condition cache")
+CONDITION_CACHES.register("memo", MemoizedConditionChecker)
+CONDITION_CACHES.register("off", DirectConditionChecker)
 
 #: E-matcher implementations (mode descriptors; dispatch lives in the runner).
 MATCHERS = Registry("matcher")

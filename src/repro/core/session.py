@@ -105,6 +105,7 @@ def runner_limits_from_config(config: TensatConfig) -> RunnerLimits:
         search_mode=config.search_mode,
         use_delta=config.delta_matching,
         multipattern_join=config.multipattern_join,
+        condition_cache=config.condition_cache,
     )
 
 

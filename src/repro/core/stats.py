@@ -31,6 +31,13 @@ class OptimizationStats:
     #: Time spent joining multi-pattern per-source matches into combinations
     #: (a sub-span of the search phase; 0.0 when no multi-pattern rule ran).
     multi_join_seconds: float = 0.0
+    #: Time spent in shape/condition checks (a sub-span of the search phase,
+    #: partially inside the multi-pattern join), including cache lookups.
+    condition_seconds: float = 0.0
+    #: Condition-check cache traffic; with ``condition_cache="off"`` every
+    #: check counts as a miss, so hits + misses is the total check count.
+    condition_cache_hits: int = 0
+    condition_cache_misses: int = 0
 
     exploration_iterations: int = 0
     stop_reason: str = ""
@@ -60,6 +67,9 @@ class OptimizationStats:
             apply_seconds=report.apply_seconds,
             rebuild_seconds=report.rebuild_seconds,
             multi_join_seconds=report.multi_join_seconds,
+            condition_seconds=report.condition_seconds,
+            condition_cache_hits=report.condition_cache_hits,
+            condition_cache_misses=report.condition_cache_misses,
             exploration_iterations=report.num_iterations,
             stop_reason=report.stop_reason.value,
             num_enodes=report.n_enodes,
@@ -76,6 +86,9 @@ class OptimizationStats:
             "apply_seconds": round(self.apply_seconds, 4),
             "rebuild_seconds": round(self.rebuild_seconds, 4),
             "multi_join_seconds": round(self.multi_join_seconds, 4),
+            "condition_seconds": round(self.condition_seconds, 4),
+            "condition_cache_hits": self.condition_cache_hits,
+            "condition_cache_misses": self.condition_cache_misses,
             "extraction_seconds": round(self.extraction_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
             "iterations": self.exploration_iterations,

@@ -1,0 +1,175 @@
+"""Memoized shape/condition checking (the condition-check cache).
+
+Every exploration iteration re-filters each rule's full match list through
+its shape-inference condition (paper Section 4), and the multi-pattern join
+evaluates the same ``targets_shape_valid`` check for thousands of congruent
+combinations.  A condition's verdict depends only on the e-graph state of the
+e-classes the match binds -- their existence, membership, and analysis data
+-- so identical canonical bindings re-checked across iterations are wasted
+work unless one of those classes changed in between.
+
+:class:`MemoizedConditionChecker` caches verdicts keyed on
+``(rule id, canonical binding tuple)`` and invalidates by *generation*: the
+runner calls :meth:`~ConditionChecker.advance` after each rebuild with the
+e-classes whose condition-relevant state changed
+(:meth:`~repro.egraph.egraph.EGraph.take_condition_dirty` -- creations,
+merges, and analysis-data repairs).  A cached verdict is served only when
+none of its binding classes was touched after it was computed, so
+analysis-data changes can never serve a stale verdict; the cache is
+therefore *trajectory-invisible* (golden tests pin cache-on == cache-off
+bit-for-bit).
+
+:class:`DirectConditionChecker` is the cache-off path behind the same
+interface: it evaluates every condition but still accounts time and call
+counts, so the ``condition_seconds`` stat is comparable across the
+``condition_cache`` knob's settings.
+
+Contract for conditions: a condition must be a pure function of the e-graph
+state of the e-classes its match *binds* -- the substitution's values, whose
+analysis data shape inference reads -- and not of the matched root classes
+or global e-graph state (all the built-in conditions in
+:mod:`repro.rules.conditions` qualify: they only consult
+``match.subst`` and ``egraph.analysis_data``).  The matched roots are
+deliberately excluded from the cache key: the apply phase unions every
+matched root with its instantiated right-hand side, so keying on them would
+invalidate the whole cache every iteration.  A condition that does read the
+roots or global state needs cache mode ``"off"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, Tuple
+
+__all__ = ["ConditionChecker", "DirectConditionChecker", "MemoizedConditionChecker"]
+
+
+def _binding_key(egraph, match, var_order=None) -> Tuple[int, ...]:
+    """Canonical binding tuple of a match: its substitution under ``find``.
+
+    This is everything a condition may legally read (see the module
+    docstring): congruent matches -- and matches differing only in their
+    matched root e-classes, which the apply phase unions every iteration --
+    share one entry.  ``var_order`` is the rule's precomputed variable tuple
+    (a match always binds exactly its rule's variables), which keys by
+    position and skips sorting; without it the variables sort by name.
+    """
+    find = egraph.find
+    subst = match.subst
+    if var_order is not None:
+        return tuple(find(subst[var]) for var in var_order)
+    return tuple(find(cls) for _, cls in sorted(subst.items()))
+
+
+class ConditionChecker:
+    """Interface shared by the cache-on and cache-off condition paths.
+
+    ``check`` evaluates (or recalls) one condition for one match; ``advance``
+    opens a new generation after a rebuild.  ``hits`` / ``misses`` /
+    ``seconds`` accumulate over the checker's lifetime -- the runner reports
+    per-iteration deltas.
+    """
+
+    #: Registry name of this checker kind.
+    kind = "base"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        #: Cached verdicts discarded because a binding class changed.
+        self.invalidated = 0
+        #: Total time spent in check() calls (lookups + evaluations).
+        self.seconds = 0.0
+
+    def check(self, rule_key: int, condition: Callable, egraph, match, var_order=None) -> bool:
+        raise NotImplementedError
+
+    def advance(self, dirty_classes: Iterable[int]) -> None:
+        """A rebuild completed; ``dirty_classes`` may no longer serve cached verdicts."""
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DirectConditionChecker(ConditionChecker):
+    """Cache off: every check evaluates the condition (counted as a miss)."""
+
+    kind = "off"
+
+    def check(self, rule_key: int, condition: Callable, egraph, match, var_order=None) -> bool:
+        t0 = time.perf_counter()
+        verdict = condition(egraph, match)
+        self.seconds += time.perf_counter() - t0
+        self.misses += 1
+        return verdict
+
+
+class MemoizedConditionChecker(ConditionChecker):
+    """Generation-invalidated verdict cache keyed on canonical bindings.
+
+    Entries record the generation they were computed in; a class touched in
+    a later generation stamps out every entry that binds it.  Stamps are per
+    e-class, so untouched bindings survive rebuilds and the cache keeps
+    paying off across iterations (the common case: delta search re-offers
+    the full cached match list every iteration, but most classes are quiet).
+    """
+
+    kind = "memo"
+
+    #: Entry cap: entries keyed on merged-away class ids can never be looked
+    #: up again (keys are recomputed under ``find``), so the store can only
+    #: grow; past the cap it is dropped wholesale and rebuilt from traffic.
+    #: The cap is far above what a node-limited saturation run accumulates
+    #: (tens of thousands of bindings per multi-heavy iteration, <= 15
+    #: iterations), so evictions are a memory backstop, not a hot path.
+    max_entries = 1_000_000
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._generation = 0
+        # canonical e-class -> generation in which it last changed.
+        self._stamps: Dict[int, int] = {}
+        # (rule id, binding key) -> (generation computed, verdict).
+        self._verdicts: Dict[tuple, Tuple[int, bool]] = {}
+        #: Times the store hit ``max_entries`` and was dropped.
+        self.evictions = 0
+
+    def check(self, rule_key: int, condition: Callable, egraph, match, var_order=None) -> bool:
+        t0 = time.perf_counter()
+        bindings = _binding_key(egraph, match, var_order)
+        key = (rule_key, bindings)
+        entry = self._verdicts.get(key)
+        if entry is not None:
+            generation, verdict = entry
+            stamps = self._stamps
+            if generation >= self._generation or all(
+                stamps.get(cls, 0) <= generation for cls in bindings
+            ):
+                self.hits += 1
+                self.seconds += time.perf_counter() - t0
+                return verdict
+            self.invalidated += 1
+        verdict = condition(egraph, match)
+        if len(self._verdicts) >= self.max_entries:
+            self._verdicts.clear()
+            self.evictions += 1
+        self._verdicts[key] = (self._generation, verdict)
+        self.misses += 1
+        self.seconds += time.perf_counter() - t0
+        return verdict
+
+    def advance(self, dirty_classes: Iterable[int]) -> None:
+        self._generation += 1
+        generation = self._generation
+        stamps = self._stamps
+        for cls in dirty_classes:
+            stamps[cls] = generation
+
+    def clear(self) -> None:
+        """Drop every cached verdict (stamps and counters are kept)."""
+        self._verdicts.clear()
+
+    def __len__(self) -> int:
+        return len(self._verdicts)

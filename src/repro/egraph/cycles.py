@@ -93,10 +93,10 @@ def _children_of_class(egraph: EGraph, eclass_id: int, filtered: FrozenSet[ENode
     children: Set[int] = set()
     for node in egraph[eclass_id].nodes:
         canonical = egraph.canonicalize(node)
-        if canonical in filtered:
+        if filtered and canonical in filtered:
             continue
-        for child in canonical.children:
-            children.add(egraph.find(child))
+        # canonicalize() already mapped every child through find().
+        children.update(canonical.children)
     return children
 
 
@@ -221,13 +221,14 @@ def find_cycles(
         seen_edges = set()
         for node in egraph[cls].nodes:
             canonical = egraph.canonicalize(node)
-            if canonical in filtered:
+            if filtered and canonical in filtered:
                 continue
+            # canonicalize() already mapped every child through find().
             for child in canonical.children:
-                key = (canonical, egraph.find(child))
+                key = (canonical, child)
                 if key not in seen_edges:
                     seen_edges.add(key)
-                    edges.append((canonical, egraph.find(child)))
+                    edges.append(key)
         return edges
 
     # Explicit-stack DFS.  ``path_edges`` holds the (class, enode) edges taken

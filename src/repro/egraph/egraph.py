@@ -58,6 +58,10 @@ class EGraph:
         self._node_birth: Dict[ENode, int] = {}
         self._birth_counter = itertools.count()
         self._n_unions = 0
+        # Exact e-node count, maintained through add / union / repair dedup so
+        # num_enodes is O(1) instead of summing every class (it is consulted
+        # several times per iteration plus once per applied plan entry).
+        self._n_enodes = 0
         # op -> e-class ids (possibly stale; canonicalised lazily on access).
         # Nodes are never removed from a class, so entries only need find().
         self._op_classes: Dict[str, Set[int]] = {}
@@ -66,14 +70,19 @@ class EGraph:
         self._dirty: Set[int] = set()
         # Unions queued by union_deferred(); applied by flush_deferred_unions().
         self._deferred_unions: List[Tuple[int, int]] = []
+        # E-classes whose condition-relevant state (existence, membership, or
+        # analysis data) changed since the last take_condition_dirty(); feeds
+        # condition-cache invalidation.  Unlike _dirty this also tracks
+        # analysis repairs, which change data without touching structure.
+        self._cond_dirty: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        """Total number of e-nodes across all e-classes."""
-        return sum(len(c.nodes) for c in self._classes.values())
+        """Total number of e-nodes across all e-classes (O(1), maintained counter)."""
+        return self._n_enodes
 
     @property
     def num_eclasses(self) -> int:
@@ -113,8 +122,20 @@ class EGraph:
     # ------------------------------------------------------------------ #
 
     def canonicalize(self, enode: ENode) -> ENode:
-        """Return ``enode`` with all children replaced by canonical e-class ids."""
-        return enode.map_children(self._uf.find)
+        """Return ``enode`` with all children replaced by canonical e-class ids.
+
+        Returns ``enode`` itself when it is already canonical (the common
+        case on a rebuilt e-graph), so hot callers -- repair, cycle DFS,
+        filter-list membership -- skip the allocation.
+        """
+        children = enode.children
+        if not children:
+            return enode
+        find = self._uf.find
+        new_children = tuple(find(c) for c in children)
+        if new_children == children:
+            return enode
+        return ENode(enode.op, new_children)
 
     def lookup(self, enode: ENode) -> Optional[int]:
         """Return the e-class of ``enode`` if it is already present."""
@@ -134,8 +155,10 @@ class EGraph:
         self._classes[eclass_id] = eclass
         self._memo[canonical] = eclass_id
         self._node_birth[canonical] = next(self._birth_counter)
+        self._n_enodes += 1
         self._op_classes.setdefault(canonical.op, set()).add(eclass_id)
         self._dirty.add(eclass_id)
+        self._cond_dirty.add(eclass_id)
         for child in set(canonical.children):
             self._classes[self.find(child)].parents.append((canonical, eclass_id))
 
@@ -179,6 +202,7 @@ class EGraph:
         merged, changed = self.analysis.merge(winner.data, loser.data)
         winner.data = merged
         self._dirty.add(new_root)
+        self._cond_dirty.add(new_root)
         self._pending.append(new_root)
         if changed:
             self._analysis_pending.append(new_root)
@@ -218,14 +242,17 @@ class EGraph:
     def rebuild(self) -> int:
         """Restore the congruence and hash-cons invariants after unions.
 
-        Returns the number of additional unions performed.
+        Each wave dedupes the pending worklist under :meth:`find` up front and
+        repairs the whole batch at once (:meth:`_repair_classes`); waves repeat
+        until no repair queues further work.  Returns the number of additional
+        unions performed.
         """
         n_before = self._n_unions
         while self._pending or self._analysis_pending:
-            todo = {self.find(e) for e in self._pending}
+            todo = sorted({self.find(e) for e in self._pending})
             self._pending.clear()
-            for eclass_id in todo:
-                self._repair(eclass_id)
+            if todo:
+                self._repair_classes(todo)
 
             analysis_todo = {self.find(e) for e in self._analysis_pending}
             self._analysis_pending.clear()
@@ -234,34 +261,83 @@ class EGraph:
         return self._n_unions - n_before
 
     def _repair(self, eclass_id: int) -> None:
-        eclass = self._classes.get(self.find(eclass_id))
-        if eclass is None:
-            return
+        self._repair_classes([eclass_id])
 
-        # Re-canonicalise parents in the hash-cons; congruent parents get unioned.
-        new_parents: Dict[ENode, int] = {}
-        for parent_node, parent_class in eclass.parents:
-            self._memo.pop(parent_node, None)
-            canonical = self.canonicalize(parent_node)
-            parent_class = self.find(parent_class)
-            previous = new_parents.get(canonical)
-            if previous is not None:
-                parent_class = self.union(previous, parent_class)
-            existing = self._memo.get(canonical)
-            if existing is not None and self.find(existing) != parent_class:
-                parent_class = self.union(existing, parent_class)
-            self._memo[canonical] = parent_class
-            if canonical not in self._node_birth:
-                self._node_birth[canonical] = self._node_birth.get(parent_node, next(self._birth_counter))
-            new_parents[canonical] = self.find(parent_class)
+    def _repair_classes(self, todo: Sequence[int]) -> None:
+        """Batched parent re-canonicalisation for one rebuild wave.
 
-        eclass = self._classes.get(self.find(eclass_id))
-        if eclass is not None:
-            eclass.parents = [(node, cls) for node, cls in new_parents.items()]
+        Every pending class's parent list is taken (cleared in place), the
+        entries are bucketed by parent operator, and each bucket is repaired
+        with one bucket-local table: congruent duplicates -- which always
+        share an op -- are found across *all* classes of the wave with a
+        single associative probe, where the per-class loop paid a per-class
+        dict probe plus a hash-cons probe per entry.  Unions discovered here
+        re-queue the merged class, so entries appended to a live parent list
+        mid-wave (by ``union`` moving the loser's parents across) are
+        repaired by the next wave.
+        """
+        # (origin class, parent node, parent class) per parent op, in
+        # (todo order, parent-list order); bucket order is op first-appearance.
+        buckets: Dict[str, List[Tuple[int, ENode, int]]] = {}
+        new_parents: Dict[int, Dict[ENode, int]] = {}
+        for eclass_id in todo:
+            eclass = self._classes.get(self.find(eclass_id))
+            new_parents[eclass_id] = {}
+            if eclass is None:
+                continue
+            taken, eclass.parents = eclass.parents, []
+            for parent_node, parent_class in taken:
+                buckets.setdefault(parent_node.op, []).append((eclass_id, parent_node, parent_class))
+
+        for entries in buckets.values():
+            # canonical parent -> e-class, shared across the wave: the first
+            # occurrence wins, later congruent occurrences union into it.
+            canon: Dict[ENode, int] = {}
+            for origin, parent_node, parent_class in entries:
+                self._memo.pop(parent_node, None)
+                canonical = self.canonicalize(parent_node)
+                parent_class = self.find(parent_class)
+                previous = canon.get(canonical)
+                if previous is not None:
+                    parent_class = self.union(previous, parent_class)
+                existing = self._memo.get(canonical)
+                if existing is not None and self.find(existing) != parent_class:
+                    parent_class = self.union(existing, parent_class)
+                self._memo[canonical] = parent_class
+                if canonical not in self._node_birth:
+                    # Inherit the original node's stamp; minting a fresh one
+                    # here would make birth order depend on rebuild order.
+                    stamp = self._node_birth.get(parent_node)
+                    self._node_birth[canonical] = next(self._birth_counter) if stamp is None else stamp
+                parent_class = self.find(parent_class)
+                canon[canonical] = parent_class
+                new_parents[origin][canonical] = parent_class
+
+        # Rewrite each affected class's parent list.  Classes merged during
+        # the wave combine their repaired entries; raw entries appended to the
+        # live list by mid-wave unions are kept (their class is re-queued, so
+        # the next wave canonicalises them).
+        by_root: Dict[int, List[int]] = {}
+        for eclass_id in todo:
+            by_root.setdefault(self.find(eclass_id), []).append(eclass_id)
+        for root, origin_ids in by_root.items():
+            eclass = self._classes.get(root)
+            if eclass is None:
+                continue
+            merged: Dict[ENode, int] = {}
+            for origin in origin_ids:
+                for node, cls in new_parents[origin].items():
+                    merged[node] = self.find(cls)
+            appended = eclass.parents
+            eclass.parents = list(merged.items())
+            if appended:
+                eclass.parents.extend(appended)
             # Deduplicate the e-nodes within the class under canonicalisation.
             deduped: Dict[ENode, None] = {}
             for node in eclass.nodes:
                 deduped.setdefault(self.canonicalize(node), None)
+            if len(deduped) != len(eclass.nodes):
+                self._n_enodes -= len(eclass.nodes) - len(deduped)
             eclass.nodes = list(deduped.keys())
 
     def _repair_analysis(self, eclass_id: int) -> None:
@@ -276,6 +352,7 @@ class EGraph:
             if changed:
                 parent.data = merged
                 self._analysis_pending.append(parent_class)
+                self._cond_dirty.add(parent_class)
                 self.analysis.modify(self, parent_class)
 
     # ------------------------------------------------------------------ #
@@ -336,6 +413,18 @@ class EGraph:
         """Return the dirty set and reset it (one exploration iteration's delta)."""
         dirty = self.dirty_classes()
         self._dirty.clear()
+        return dirty
+
+    def take_condition_dirty(self) -> Set[int]:
+        """Canonical e-classes whose condition-relevant state changed; resets.
+
+        A superset of the structural dirty set: classes created or merged
+        into, *plus* classes whose analysis data changed during rebuild
+        repairs.  Condition caches (:mod:`repro.egraph.checkcache`) invalidate
+        memoized verdicts over these classes after each rebuild.
+        """
+        dirty = {self.find(c) for c in self._cond_dirty}
+        self._cond_dirty.clear()
         return dirty
 
     def represents(self, eclass_id: int, expr: RecExpr, index: Optional[int] = None) -> bool:

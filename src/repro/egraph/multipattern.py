@@ -37,6 +37,7 @@ Step 3 has two interchangeable implementations behind
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -47,7 +48,30 @@ from repro.egraph.pattern import Pattern, Substitution
 
 __all__ = ["MultiMatch", "MultiPatternRewrite", "MultiPatternSearcher"]
 
+#: A multi-pattern rule's precondition.  Under the runner's default
+#: ``condition_cache="memo"`` a condition must be a pure function of the
+#: e-graph state of the e-classes the combination *binds* (its substitution
+#: values) -- not of the matched root classes or global e-graph state; see
+#: :mod:`repro.egraph.checkcache`.  Conditions that need the old
+#: re-evaluate-every-search behaviour require ``condition_cache="off"``.
 MultiCondition = Callable[[EGraph, "MultiMatch"], bool]
+
+
+def _join_accepts_checker(join_fn) -> bool:
+    """Whether a registered join accepts the ``checker`` keyword.
+
+    Pre-checker joins (the four-argument registry signature) remain valid;
+    they just evaluate their conditions uncached.  Called once per rule per
+    combine, so the signature inspection is not worth caching (a cache keyed
+    on function objects would pin unregistered joins alive).
+    """
+    try:
+        parameters = inspect.signature(join_fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "checker" in parameters or any(
+        p.kind == inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 @dataclass(frozen=True)
@@ -104,6 +128,15 @@ class MultiPatternRewrite:
         self.source_variables: Tuple[Tuple[str, ...], ...] = tuple(
             tuple(p.variables()) for p in self.sources
         )
+        # All source variables in first-appearance order: a combination binds
+        # exactly these, so condition-cache binding keys are built
+        # positionally in this order.
+        all_vars: List[str] = []
+        for per_source in self.source_variables:
+            for name in per_source:
+                if name not in all_vars:
+                    all_vars.append(name)
+        self.all_source_variables: Tuple[str, ...] = tuple(all_vars)
         # Cached for the apply planner: the variables the targets consume, in
         # a deterministic order (cycle-filter leaves and the dedup key).
         target_vars: List[str] = []
@@ -159,12 +192,21 @@ class MultiPatternRewrite:
                     return None
         return merged
 
+    def _condition_ok(self, egraph: EGraph, multi: MultiMatch, checker=None) -> bool:
+        """Evaluate (or recall) this rule's condition for one combination."""
+        if self.condition is None:
+            return True
+        if checker is None:
+            return self.condition(egraph, multi)
+        return checker.check(id(self), self.condition, egraph, multi, self.all_source_variables)
+
     def combine(
         self,
         egraph: EGraph,
         per_source_matches: Sequence[Sequence[Match]],
         max_combinations: Optional[int] = None,
         join: str = "product",
+        checker=None,
     ) -> List[MultiMatch]:
         """Combine the per-source match lists into compatible :class:`MultiMatch` es.
 
@@ -176,10 +218,19 @@ class MultiPatternRewrite:
         combinations, same order, same ``max_combinations`` truncation -- so
         the saturation trajectory is join-blind; the equivalence is
         property-tested in ``tests/test_multipattern.py``.
+
+        ``checker`` optionally memoizes the per-combination condition checks
+        (:mod:`repro.egraph.checkcache`); verdicts are binding-canonical, so
+        the combination lists are identical with or without it.  Registered
+        joins written against the pre-checker four-argument signature are
+        still supported: the checker is only passed to joins that accept it
+        (their conditions then evaluate uncached).
         """
         from repro.core.registry import MULTIPATTERN_JOINS
 
         join_fn = MULTIPATTERN_JOINS.get(join)
+        if checker is not None and _join_accepts_checker(join_fn):
+            return join_fn(self, egraph, per_source_matches, max_combinations, checker=checker)
         return join_fn(self, egraph, per_source_matches, max_combinations)
 
     def _combine_product(
@@ -187,6 +238,7 @@ class MultiPatternRewrite:
         egraph: EGraph,
         per_source_matches: Sequence[Sequence[Match]],
         max_combinations: Optional[int] = None,
+        checker=None,
     ) -> List[MultiMatch]:
         """Cartesian-product the per-source matches and keep compatible ones."""
         combos: List[MultiMatch] = []
@@ -202,7 +254,7 @@ class MultiPatternRewrite:
             if merged is None:
                 continue
             multi = MultiMatch(eclasses=tuple(m.eclass for m in combination), subst=merged)
-            if self.condition is not None and not self.condition(egraph, multi):
+            if not self._condition_ok(egraph, multi, checker):
                 continue
             combos.append(multi)
         return combos
@@ -212,6 +264,7 @@ class MultiPatternRewrite:
         egraph: EGraph,
         per_source_matches: Sequence[Sequence[Match]],
         max_combinations: Optional[int] = None,
+        checker=None,
     ) -> List[MultiMatch]:
         """Indexed join over the per-source matches; equals the product path.
 
@@ -331,7 +384,7 @@ class MultiPatternRewrite:
             if self.skip_identical and k > 1 and len(set(eclasses)) == 1:
                 continue
             multi = MultiMatch(eclasses=eclasses, subst=subst)
-            if self.condition is not None and not self.condition(egraph, multi):
+            if not self._condition_ok(egraph, multi, checker):
                 continue
             combos.append(multi)
         return combos
@@ -463,8 +516,10 @@ class MultiPatternSearcher:
         canonical_matches: Dict[str, List[Match]],
         max_combinations: Optional[int] = None,
         join: str = "product",
+        checker=None,
     ) -> List[Tuple[MultiPatternRewrite, List[MultiMatch]]]:
-        """Decanonicalize and combine per-rule; ``join`` as in :meth:`MultiPatternRewrite.combine`.
+        """Decanonicalize and combine per-rule; ``join`` / ``checker`` as in
+        :meth:`MultiPatternRewrite.combine`.
 
         ``canonical_matches`` maps each canonical pattern key (see
         :meth:`canonical_patterns`) to its match list, from whichever search
@@ -479,7 +534,7 @@ class MultiPatternSearcher:
                     for m in canonical_matches[key]
                 ]
                 per_source.append(decanonicalized)
-            combos = rule.combine(egraph, per_source, max_combinations, join=join)
+            combos = rule.combine(egraph, per_source, max_combinations, join=join, checker=checker)
             results.append((rule, combos))
         return results
 

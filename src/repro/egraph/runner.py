@@ -106,6 +106,13 @@ class IterationReport:
     #: Time spent joining multi-pattern per-source matches into combinations
     #: (a sub-span of ``search_seconds``; 0.0 when no multi rules ran).
     multi_join_seconds: float = 0.0
+    #: Time spent in shape/condition checks (a sub-span of ``search_seconds``,
+    #: partially inside ``multi_join_seconds``), including cache lookups.
+    condition_seconds: float = 0.0
+    #: Condition-check cache traffic (misses count direct evaluations too,
+    #: so hits + misses is the number of condition checks this iteration).
+    condition_cache_hits: int = 0
+    condition_cache_misses: int = 0
     #: True when this iteration searched the whole e-graph; False when the
     #: search was seeded from the previous iteration's delta.
     full_search: bool = True
@@ -127,6 +134,9 @@ class RunnerReport:
     apply_seconds: float = 0.0
     rebuild_seconds: float = 0.0
     multi_join_seconds: float = 0.0
+    condition_seconds: float = 0.0
+    condition_cache_hits: int = 0
+    condition_cache_misses: int = 0
 
     @property
     def num_iterations(self) -> int:
@@ -141,6 +151,9 @@ class RunnerReport:
             "apply_seconds": round(self.apply_seconds, 4),
             "rebuild_seconds": round(self.rebuild_seconds, 4),
             "multi_join_seconds": round(self.multi_join_seconds, 4),
+            "condition_seconds": round(self.condition_seconds, 4),
+            "condition_cache_hits": self.condition_cache_hits,
+            "condition_cache_misses": self.condition_cache_misses,
             "enodes": self.n_enodes,
             "eclasses": self.n_eclasses,
             "filtered_nodes": self.n_filtered,
@@ -175,6 +188,11 @@ class RunnerLimits:
     #: or "naive" (the interpretive reference matcher).  Both produce the same
     #: match lists, so the exploration trajectory is identical.
     matcher: str = "vm"
+    #: Shape/condition-check caching: "memo" (default) memoizes verdicts per
+    #: canonical binding, invalidated when a bound e-class changes at a
+    #: rebuild; "off" re-evaluates every check.  Identical match lists either
+    #: way, so the trajectory is cache-blind.
+    condition_cache: str = "memo"
     #: How the VM organises the search: "trie" (default) merges all rule
     #: programs into one shared-prefix trie per root operator and matches
     #: every rule in a single traversal of each op bucket; "per-rule" runs
@@ -262,7 +280,12 @@ class Runner:
         # repro.core.registry are accepted here without edits (lazy import:
         # repro.egraph must stay importable without repro.core).
         from repro.core.events import dispatch_event
-        from repro.core.registry import MATCHERS, MULTIPATTERN_JOINS, SEARCH_MODES
+        from repro.core.registry import (
+            CONDITION_CACHES,
+            MATCHERS,
+            MULTIPATTERN_JOINS,
+            SEARCH_MODES,
+        )
 
         self._dispatch = dispatch_event
         self.egraph = egraph
@@ -272,6 +295,9 @@ class Runner:
         MATCHERS.check(self.limits.matcher)
         SEARCH_MODES.check(self.limits.search_mode)
         MULTIPATTERN_JOINS.check(self.limits.multipattern_join)
+        # Shape/condition-check path: a memoizing cache or the direct
+        # evaluator, both accounting time and call counts identically.
+        self.condition_checker = CONDITION_CACHES.create(self.limits.condition_cache)
         # Raises on an unknown scheduler kind, same as the matcher checks.
         self.scheduler: Scheduler = make_scheduler(
             self.limits.scheduler, self.limits.match_limit, self.limits.ban_length
@@ -348,8 +374,11 @@ class Runner:
             # Iteration 0 always searches the whole e-graph, so the dirty
             # marks accumulated while the caller seeded it carry no
             # information; drain them so iteration 1's delta covers only
-            # iteration 0's changes.
+            # iteration 0's changes.  The condition-dirty marks are drained
+            # for the same reason: verdicts computed during iteration 0 see
+            # the seeded state, so the seeds must not invalidate them.
             self.egraph.take_dirty()
+            self.egraph.take_condition_dirty()
             self._delta = None
             self._started = True
 
@@ -403,6 +432,9 @@ class Runner:
             apply_seconds=sum(r.apply_seconds for r in reports),
             rebuild_seconds=sum(r.rebuild_seconds for r in reports),
             multi_join_seconds=sum(r.multi_join_seconds for r in reports),
+            condition_seconds=sum(r.condition_seconds for r in reports),
+            condition_cache_hits=sum(r.condition_cache_hits for r in reports),
+            condition_cache_misses=sum(r.condition_cache_misses for r in reports),
         )
 
     # ------------------------------------------------------------------ #
@@ -413,6 +445,9 @@ class Runner:
         report = IterationReport(index=iteration)
         unions_before = self.egraph.num_unions
         enodes_before = self.egraph.num_enodes
+        checker = self.condition_checker
+        cond_seconds0 = checker.seconds
+        cond_hits0, cond_misses0 = checker.hits, checker.misses
 
         use_vm = self.limits.matcher == "vm"
         delta = self._delta if (use_vm and self.limits.use_delta) else None
@@ -455,6 +490,7 @@ class Runner:
                 canonical_matches,
                 self.limits.max_multi_combinations,
                 join=self.limits.multipattern_join,
+                checker=checker,
             )
             report.multi_join_seconds = time.perf_counter() - t_join
 
@@ -477,8 +513,11 @@ class Runner:
                 raw = self._matchers[rule_index].search(self.egraph, delta=delta)
             else:
                 raw = naive_search_pattern(self.egraph, rewrite.lhs)
-            single_matches.append(rewrite.filter_matches(self.egraph, raw))
+            single_matches.append(rewrite.filter_matches(self.egraph, raw, checker=checker))
         report.search_seconds = time.perf_counter() - t_search
+        report.condition_seconds = checker.seconds - cond_seconds0
+        report.condition_cache_hits = checker.hits - cond_hits0
+        report.condition_cache_misses = checker.misses - cond_misses0
 
         # --- plan + apply phases: schedule, dedup, execute in one pass ---- #
         t_apply = time.perf_counter()
@@ -513,6 +552,9 @@ class Runner:
         self.egraph.rebuild()
         report.n_cycles_resolved = self.cycle_filter.end_iteration(self.egraph)
         self.egraph.rebuild()
+        # Open a new cache generation: verdicts over the classes this
+        # iteration created, merged, or analysis-repaired are now stale.
+        checker.advance(self.egraph.take_condition_dirty())
         report.rebuild_seconds = time.perf_counter() - t_rebuild
 
         # Everything dirtied during this iteration (rule applications, repairs,

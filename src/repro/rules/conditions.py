@@ -31,36 +31,76 @@ AnyMatch = Union[Match, MultiMatch]
 Condition = Callable[[EGraph, AnyMatch], bool]
 
 
+def _infer_term(egraph: EGraph, subst: Dict[str, int], term: PatternTerm, memo: Dict, key_of) -> TensorData:
+    """Bottom-up shape inference for one pattern term under ``subst``.
+
+    Variables read their metadata from the e-class analysis; operator nodes
+    run shape inference on their children's results.  ``memo`` (keyed by
+    ``key_of(term)``) shares the inference of repeated sub-terms within one
+    evaluation.  Raises :class:`ShapeError` when the term is ill-typed.
+    """
+    key = key_of(term)
+    data = memo.get(key)
+    if data is not None:
+        return data
+    if isinstance(term, PatternVar):
+        eclass = subst.get(term.name)
+        if eclass is None:
+            raise ShapeError(f"variable ?{term.name} unbound")
+        data = egraph.analysis_data(eclass)
+        if data is None or not data.is_valid:
+            raise ShapeError(f"variable ?{term.name} has no valid analysis data")
+    else:
+        data = infer_symbol(
+            term.op, [_infer_term(egraph, subst, c, memo, key_of) for c in term.children]
+        )
+    memo[key] = data
+    return data
+
+
 def pattern_data(egraph: EGraph, pattern: Pattern, subst: Dict[str, int]) -> TensorData:
     """Infer the metadata the root of ``pattern`` would have under ``subst``.
 
-    Variables read their metadata from the e-class analysis; operator nodes
-    run shape inference bottom-up.  Raises :class:`ShapeError` when the
-    pattern would be ill-typed.
+    Raises :class:`ShapeError` when the pattern would be ill-typed.
     """
-
-    def go(term: PatternTerm) -> TensorData:
-        if isinstance(term, PatternVar):
-            eclass = subst.get(term.name)
-            if eclass is None:
-                raise ShapeError(f"variable ?{term.name} unbound")
-            data = egraph.analysis_data(eclass)
-            if data is None or not data.is_valid:
-                raise ShapeError(f"variable ?{term.name} has no valid analysis data")
-            return data
-        children = [go(c) for c in term.children]
-        return infer_symbol(term.op, children)
-
-    return go(pattern.root)
+    return _infer_term(egraph, subst, pattern.root, {}, id)
 
 
 def targets_shape_valid(targets: Sequence[Pattern]) -> Condition:
-    """Condition: every target pattern type-checks under the match's bindings."""
+    """Condition: every target pattern type-checks under the match's bindings.
+
+    Sub-terms shared across targets are inferred once per evaluation: the
+    targets of a multi-pattern merge differ only in their outer projection
+    (``split0`` / ``split1`` around one merged operator chain), so the
+    expensive inference of the shared chain would otherwise run once per
+    target.  Sharing is detected structurally (per-subterm keys precomputed
+    here, at condition-construction time), so parsing the targets separately
+    does not defeat it.
+    """
+    # id(subterm) -> structural key; computed once, reused every evaluation.
+    subterm_keys: Dict[int, str] = {}
+
+    def index(term: PatternTerm) -> str:
+        if isinstance(term, PatternVar):
+            key = "?" + term.name
+        else:
+            key = "(" + " ".join([term.op] + [index(c) for c in term.children]) + ")"
+        subterm_keys[id(term)] = key
+        return key
+
+    roots = [target.root for target in targets]
+    for root in roots:
+        index(root)
+
+    def key_of(term: PatternTerm) -> str:
+        return subterm_keys[id(term)]
 
     def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        for target in targets:
+        subst = match.subst
+        memo: Dict[str, TensorData] = {}
+        for root in roots:
             try:
-                data = pattern_data(egraph, target, match.subst)
+                data = _infer_term(egraph, subst, root, memo, key_of)
             except ShapeError:
                 return False
             if not data.is_valid:

@@ -152,6 +152,61 @@ class TestExecution:
         assert len(eg.classes_with_op("zero")) == 1
 
 
+class TestDeferredUnionDeltaInteraction:
+    """Delta matching must observe e-classes merged by flush_deferred_unions.
+
+    The runner's rebuild stage flushes the queued unions and only then drains
+    the dirty set, so the merges always reach the next iteration's delta.
+    These regression tests pin that contract directly at the e-graph /
+    matcher level, including the adversarial interleaving where
+    ``take_dirty()`` runs *between* plan execution and the flush (draining
+    the structural marks of the batch's adds): the flush itself re-dirties
+    every merged root, so the delta still covers the merges.
+    """
+
+    def test_flushed_merges_survive_interleaved_take_dirty(self):
+        from repro.egraph.language import ENode
+
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        eg.union_deferred(a, b)
+        # Interleaved drain (e.g. an observer inspecting the delta) between
+        # plan execution and the flush.
+        eg.take_dirty()
+        eg.flush_deferred_unions()
+        eg.rebuild()
+        assert eg.find(a) in eg.take_dirty()
+
+    def test_delta_search_observes_flushed_merge(self):
+        from repro.egraph.language import ENode
+        from repro.egraph.machine import IncrementalMatcher
+        from repro.egraph.pattern import Pattern
+
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        gb = eg.add(ENode("g", (b,)))
+        matcher = IncrementalMatcher(Pattern.parse("(g (f ?x))"))
+        assert matcher.search(eg) == []  # seeds the incremental cache
+        eg.take_dirty()
+
+        # Batched apply: add an RHS against the frozen union-find, queue the
+        # union, and interleave a take_dirty before the flush.
+        fa = eg.add(ENode("f", (a,)))
+        eg.union_deferred(b, fa)
+        eg.take_dirty()
+        eg.flush_deferred_unions()
+        eg.rebuild()
+
+        delta = eg.take_dirty()
+        matches = matcher.search(eg, delta=delta)
+        assert [m.eclass for m in matches] == [eg.find(gb)]
+        assert matches[0].subst == {"x": eg.find(a)}
+        # And the delta search equals a fresh full search.
+        assert matches == IncrementalMatcher(Pattern.parse("(g (f ?x))")).search(eg)
+
+
 class TestPipelineEquivalence:
     def test_batched_apply_equals_immediate_apply(self):
         """Plan execution + flush + rebuild reaches the same e-graph as the

@@ -1,0 +1,255 @@
+"""Unit tests for the condition-check cache (memoized shape checking)."""
+
+import pytest
+
+from repro.egraph.analysis import DepthAnalysis
+from repro.egraph.checkcache import DirectConditionChecker, MemoizedConditionChecker
+from repro.egraph.egraph import EGraph
+from repro.egraph.ematch import Match
+from repro.egraph.language import ENode
+from repro.egraph.multipattern import MultiMatch
+
+
+class CountingCondition:
+    """A condition that records its evaluations and returns a fixed verdict."""
+
+    def __init__(self, verdict=True):
+        self.verdict = verdict
+        self.calls = 0
+
+    def __call__(self, egraph, match):
+        self.calls += 1
+        return self.verdict
+
+
+def _egraph():
+    eg = EGraph()
+    a = eg.add(ENode("a"))
+    b = eg.add(ENode("b"))
+    c = eg.add(ENode("c"))
+    return eg, a, b, c
+
+
+class TestDirectChecker:
+    def test_every_check_evaluates_and_counts_as_miss(self):
+        eg, a, b, _ = _egraph()
+        checker = DirectConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        assert checker.check(1, cond, eg, match) is True
+        assert checker.check(1, cond, eg, match) is True
+        assert cond.calls == 2
+        assert (checker.hits, checker.misses) == (0, 2)
+        assert checker.seconds >= 0.0
+
+
+class TestMemoizedChecker:
+    def test_repeated_binding_hits(self):
+        eg, a, b, _ = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        assert checker.check(1, cond, eg, match) is True
+        assert checker.check(1, cond, eg, match) is True
+        assert cond.calls == 1
+        assert (checker.hits, checker.misses) == (1, 1)
+        assert checker.hit_rate == 0.5
+
+    def test_matched_root_is_not_part_of_the_key(self):
+        # The apply phase unions every matched root, so keying on it would
+        # invalidate the cache each iteration; conditions may only read the
+        # bound classes (module contract), and matches differing only in
+        # their root share one entry.
+        eg, a, b, c = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        checker.check(1, cond, eg, Match(eclass=a, subst={"x": b}))
+        checker.check(1, cond, eg, Match(eclass=c, subst={"x": b}))
+        assert cond.calls == 1
+        assert checker.hits == 1
+
+    def test_different_rules_do_not_share_entries(self):
+        eg, a, b, _ = _egraph()
+        checker = MemoizedConditionChecker()
+        cond_true, cond_false = CountingCondition(True), CountingCondition(False)
+        match = Match(eclass=a, subst={"x": b})
+        assert checker.check(1, cond_true, eg, match) is True
+        assert checker.check(2, cond_false, eg, match) is False
+        assert cond_true.calls == cond_false.calls == 1
+
+    def test_var_order_and_sorted_keys_agree(self):
+        eg, a, b, c = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b, "y": c})
+        checker.check(1, cond, eg, match, var_order=("x", "y"))
+        checker.check(1, cond, eg, match, var_order=("x", "y"))
+        assert cond.calls == 1
+
+    def test_multimatch_bindings_are_cached(self):
+        eg, a, b, c = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        multi = MultiMatch(eclasses=(a, c), subst={"x": b})
+        assert checker.check(7, cond, eg, multi) is True
+        assert checker.check(7, cond, eg, multi) is True
+        assert cond.calls == 1
+
+    def test_dirty_binding_class_invalidates(self):
+        eg, a, b, _ = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        checker.check(1, cond, eg, match)
+        checker.advance([eg.find(b)])
+        assert checker.check(1, cond, eg, match) is True
+        assert cond.calls == 2
+        assert checker.invalidated == 1
+
+    def test_untouched_binding_survives_generations(self):
+        eg, a, b, c = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        checker.check(1, cond, eg, match)
+        for _ in range(3):
+            checker.advance([eg.find(c)])  # unrelated class churns
+        assert checker.check(1, cond, eg, match) is True
+        assert cond.calls == 1
+        assert checker.hits == 1
+
+    def test_entry_refreshes_after_invalidation(self):
+        eg, a, b, _ = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        checker.check(1, cond, eg, match)
+        checker.advance([eg.find(b)])
+        checker.check(1, cond, eg, match)  # recomputed at the new generation
+        checker.advance([])  # nothing dirtied since
+        assert checker.check(1, cond, eg, match) is True
+        assert cond.calls == 2
+
+    def test_entry_cap_bounds_the_store(self):
+        eg, a, b, c = _egraph()
+        checker = MemoizedConditionChecker()
+        checker.max_entries = 2
+        cond = CountingCondition()
+        for var_cls in (a, b, c):
+            checker.check(1, cond, eg, Match(eclass=a, subst={"x": var_cls}))
+        assert len(checker) <= 2
+        assert checker.evictions == 1
+
+    def test_legacy_four_argument_join_still_works_with_cache_on(self):
+        # Joins registered against the pre-checker signature must keep
+        # working when a checker is in play: combine() only forwards the
+        # checker to joins that accept it.
+        from repro.core.registry import MULTIPATTERN_JOINS
+        from repro.egraph.multipattern import MultiPatternRewrite
+
+        def legacy_join(rule, egraph, per_source_matches, max_combinations):
+            return rule._combine_product(egraph, per_source_matches, max_combinations)
+
+        MULTIPATTERN_JOINS.register("test-legacy", legacy_join)
+        try:
+            eg = EGraph()
+            eg.add_term("(root (f a) (g a))")
+            rule = MultiPatternRewrite.parse(
+                "pair", ["(f ?x)", "(g ?x)"], ["(p ?x)", "(q ?x)"],
+                condition=lambda egraph, multi: True,
+            )
+            from repro.egraph.ematch import search_pattern
+
+            per_source = [search_pattern(eg, p) for p in rule.sources]
+            checker = MemoizedConditionChecker()
+            combos = rule.combine(eg, per_source, join="test-legacy", checker=checker)
+            assert combos == rule.combine(eg, per_source, join="product", checker=checker)
+            assert len(combos) == 1
+        finally:
+            MULTIPATTERN_JOINS.unregister("test-legacy")
+
+    def test_clear_drops_entries(self):
+        eg, a, b, _ = _egraph()
+        checker = MemoizedConditionChecker()
+        cond = CountingCondition()
+        match = Match(eclass=a, subst={"x": b})
+        checker.check(1, cond, eg, match)
+        assert len(checker) == 1
+        checker.clear()
+        assert len(checker) == 0
+        checker.check(1, cond, eg, match)
+        assert cond.calls == 2
+
+
+class TestConditionDirtyTracking:
+    def test_analysis_repair_marks_condition_dirty(self):
+        # A union whose rebuild lowers a parent's analysis data must surface
+        # the parent in take_condition_dirty even though no structural change
+        # touched it -- this is what keeps cached verdicts honest when
+        # analysis data changes between iterations.
+        eg = EGraph(analysis=DepthAnalysis())
+        deep = eg.add_term("(f (g a))")
+        shallow = eg.add_term("b")
+        parent = eg.add(ENode("h", (deep,)))
+        assert eg.analysis_data(parent) == 4
+        eg.take_condition_dirty()
+
+        eg.union(deep, shallow)
+        eg.rebuild()
+        assert eg.analysis_data(parent) == 2  # data changed during repair
+        dirty = eg.take_condition_dirty()
+        assert eg.find(parent) in dirty
+
+    def test_take_condition_dirty_resets(self):
+        eg, a, b, _ = _egraph()
+        eg.take_condition_dirty()
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.find(a) in eg.take_condition_dirty()
+        assert eg.take_condition_dirty() == set()
+
+
+class TestEndToEnd:
+    def test_cache_on_off_walk_identical_trajectories(self):
+        from repro.core.config import TensatConfig
+        from repro.core.session import OptimizationSession
+        from repro.models import build_model
+
+        records = {}
+        for cache in ("memo", "off"):
+            config = TensatConfig(
+                node_limit=2_000, iter_limit=5, k_multi=2,
+                extraction="greedy", condition_cache=cache,
+            )
+            session = OptimizationSession(build_model("nasrnn", "tiny"), config=config)
+            result = session.result()
+            report = result.runner_report
+            records[cache] = {
+                "enodes": result.stats.num_enodes,
+                "cost": result.stats.optimized_cost,
+                "stop": result.stats.stop_reason,
+                "matches": tuple(it.n_matches for it in report.iterations),
+                "applied": tuple(it.n_applied for it in report.iterations),
+            }
+            # Both modes account condition checks; only memo can hit.
+            checks = (
+                result.stats.condition_cache_hits + result.stats.condition_cache_misses
+            )
+            assert checks > 0
+            if cache == "memo":
+                assert result.stats.condition_cache_hits > 0
+            else:
+                assert result.stats.condition_cache_hits == 0
+        assert records["memo"] == records["off"]
+
+    def test_unknown_cache_kind_rejected(self):
+        from repro.core.config import TensatConfig
+
+        with pytest.raises(ValueError, match="condition cache"):
+            TensatConfig(condition_cache="lru")
+
+    def test_runner_limits_validates_cache_kind(self):
+        from repro.egraph.runner import Runner, RunnerLimits
+
+        with pytest.raises(ValueError, match="condition cache"):
+            Runner(EGraph(), limits=RunnerLimits(condition_cache="bogus"))

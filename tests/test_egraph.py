@@ -104,6 +104,57 @@ class TestUnion:
         assert eg.is_clean()
 
 
+class TestBirthStamps:
+    def test_repair_inherits_stamp_without_burning_counter(self):
+        # Regression: _repair used next() as an eagerly evaluated dict.get
+        # default, so every repaired parent consumed a birth stamp even when
+        # the canonical node inherited one -- making later stamps (and the
+        # cycle filter's "newest node" choice) depend on rebuild order.
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        fa = eg.add(ENode("f", (a,)))
+        eg.add(ENode("f", (b,)))
+        eg.union(a, b)
+        eg.rebuild()
+        # The canonical repaired parent f(find(a)) inherits the stamp of one
+        # of the original f-nodes instead of minting a new one.
+        canonical = eg.canonicalize(ENode("f", (a,)))
+        assert eg._node_birth[canonical] in (2, 3)  # stamps of f(a) / f(b)
+        # The counter was not burned during the repair: the next added node
+        # gets the next contiguous stamp.
+        g = eg.add(ENode("g"))
+        assert eg._node_birth[eg.canonicalize(ENode("g"))] == 4
+
+    def test_node_birth_survives_chained_repairs(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        fa = eg.add(ENode("f", (a,)))
+        fb = eg.add(ENode("f", (b,)))
+        gfa = eg.add(ENode("g", (fa,)))
+        eg.add(ENode("g", (fb,)))
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.node_birth(ENode("g", (eg.find(fa),))) >= 0
+        # All stamps are within the range the adds produced (6 nodes).
+        assert all(stamp < 6 for stamp in eg._node_birth.values())
+
+
+class TestEnodeCounter:
+    def test_counter_tracks_repair_dedup(self):
+        eg = EGraph()
+        a = eg.add(ENode("a"))
+        b = eg.add(ENode("b"))
+        eg.add(ENode("f", (a,)))
+        eg.add(ENode("f", (b,)))
+        assert eg.num_enodes == 4
+        eg.union(a, b)
+        eg.rebuild()
+        # f(a) and f(b) became one canonical node; a and b merged classes.
+        assert eg.num_enodes == sum(len(c.nodes) for c in eg.classes()) == 3
+
+
 class TestRepresents:
     def test_initial_term_is_represented(self):
         eg = EGraph()

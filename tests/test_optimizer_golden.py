@@ -80,6 +80,49 @@ def test_multipattern_hash_join_reproduces_product_golden_record():
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("model", ["nasrnn", "resnext"])
+def test_condition_cache_off_matches_on(model):
+    """The condition-check cache must not change the trajectory.
+
+    ``condition_cache="off"`` evaluates every shape/condition check directly;
+    the memoizing cache must walk the identical trajectory bit-for-bit --
+    generation invalidation means a cached verdict is only served while the
+    bound e-classes are unchanged, so a divergence here is a stale verdict.
+    k_multi=2 keeps multi-pattern combination checks (the hot path the cache
+    targets) active across a rebuild boundary.
+    """
+    overrides = dict(extraction="greedy", k_multi=2)
+    golden = _golden_record(model, overrides, condition_cache="off")
+    record = _golden_record(model, overrides, condition_cache="memo")
+    assert record == golden
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model", ["nasrnn", "resnext"])
+def test_birth_stamps_bit_identical_across_search_paths(model):
+    """Node birth stamps must not depend on the search path.
+
+    Regression for the eager ``next()`` default in ``EGraph._repair``: every
+    repaired parent burned a birth stamp even when the canonical node
+    inherited one, so stamps (which cycle filtering uses to pick the newest
+    node) depended on rebuild order.  With the fix, the full
+    ``node -> stamp`` map is bit-for-bit identical across matcher=naive,
+    matcher=vm (per-rule), and the trie search mode.
+    """
+    from repro.core.session import OptimizationSession
+
+    def birth_map(**search_path):
+        config = TensatConfig(**{**BASE, "extraction": "greedy", **search_path})
+        session = OptimizationSession(build_model(model, "tiny"), config=config)
+        session.explore()
+        return dict(session.egraph._node_birth)
+
+    golden = birth_map(matcher="naive")
+    assert birth_map(matcher="vm", search_mode="per-rule") == golden
+    assert birth_map(matcher="vm", search_mode="trie") == golden
+
+
+@pytest.mark.slow
 def test_delta_matching_off_matches_delta_on():
     """Disabling delta seeding must not change the trajectory either."""
     config = dict(BASE, extraction="greedy")

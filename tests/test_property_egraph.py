@@ -137,6 +137,26 @@ class TestEGraphProperties:
             else:
                 seen[canonical] = eclass_id
 
+    @given(st.lists(sexpr_trees(), min_size=2, max_size=4), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_enode_counter_matches_recomputed_sum(self, trees, rnd):
+        # num_enodes is an O(1) maintained counter; it must equal the full
+        # per-class sum after arbitrary add/union/rebuild sequences (adds,
+        # hash-cons duplicates, unions merging node lists, repair dedup).
+        eg = EGraph()
+        roots = []
+        for t in trees:
+            roots.append(eg.add_expr(RecExpr.from_sexpr(t)))
+            assert eg.num_enodes == sum(len(c.nodes) for c in eg.classes())
+        for _ in range(len(roots) * 2):
+            eg.union(rnd.choice(roots), rnd.choice(roots))
+            if rnd.random() < 0.5:
+                eg.rebuild()
+            assert eg.num_enodes == sum(len(c.nodes) for c in eg.classes())
+        eg.rebuild()
+        assert eg.num_enodes == sum(len(c.nodes) for c in eg.classes())
+        assert len(eg) == eg.num_enodes
+
     @given(sexpr_trees())
     @settings(max_examples=40, deadline=None)
     def test_extraction_returns_represented_term_of_no_higher_cost(self, tree):

@@ -14,6 +14,7 @@ from repro import TensatConfig, optimize
 from repro.cli import build_parser
 from repro.core import config as config_module
 from repro.core.registry import (
+    CONDITION_CACHES,
     CYCLE_FILTERS,
     EXTRACTORS,
     ILP_BACKENDS,
@@ -84,6 +85,7 @@ class TestBuiltinEntries:
         assert EXTRACTORS.names() == ("ilp", "greedy")
         assert CYCLE_FILTERS.names() == ("efficient", "vanilla", "none")
         assert MULTIPATTERN_JOINS.names() == ("hash", "product")
+        assert CONDITION_CACHES.names() == ("memo", "off")
         assert MATCHERS.names() == ("vm", "naive")
         assert SEARCH_MODES.names() == ("trie", "per-rule")
         assert ILP_BACKENDS.names() == ("scipy", "bnb")
@@ -93,6 +95,7 @@ class TestBuiltinEntries:
         assert config_module.SCHEDULER_CHOICES == SCHEDULERS.names()
         assert config_module.SEARCH_MODE_CHOICES == SEARCH_MODES.names()
         assert config_module.MULTIPATTERN_JOIN_CHOICES == MULTIPATTERN_JOINS.names()
+        assert config_module.CONDITION_CACHE_CHOICES == CONDITION_CACHES.names()
         assert config_module.CYCLE_FILTER_CHOICES == CYCLE_FILTERS.names()
         assert config_module.EXTRACTION_CHOICES == EXTRACTORS.names()
 
@@ -114,6 +117,7 @@ class TestBuiltinEntries:
         assert tuple(actions["search_mode"].choices) == SEARCH_MODES.names()
         assert tuple(actions["scheduler"].choices) == SCHEDULERS.names()
         assert tuple(actions["multipattern_join"].choices) == MULTIPATTERN_JOINS.names()
+        assert tuple(actions["condition_cache"].choices) == CONDITION_CACHES.names()
         assert tuple(actions["extraction"].choices) == EXTRACTORS.names()
         assert tuple(actions["cycle_filter"].choices) == CYCLE_FILTERS.names()
 

@@ -29,6 +29,7 @@ import repro  # noqa: E402
 from repro.cli import build_parser  # noqa: E402
 from repro.core import config as config_module  # noqa: E402
 from repro.core.registry import (  # noqa: E402
+    CONDITION_CACHES,
     CYCLE_FILTERS,
     EXTRACTORS,
     MATCHERS,
@@ -44,6 +45,7 @@ CLI_REGISTRY_KNOBS = {
     "search_mode": SEARCH_MODES,
     "scheduler": SCHEDULERS,
     "multipattern_join": MULTIPATTERN_JOINS,
+    "condition_cache": CONDITION_CACHES,
     "extraction": EXTRACTORS,
     "cycle_filter": CYCLE_FILTERS,
 }
@@ -54,6 +56,7 @@ CONFIG_SNAPSHOTS = {
     "SCHEDULER_CHOICES": SCHEDULERS,
     "SEARCH_MODE_CHOICES": SEARCH_MODES,
     "MULTIPATTERN_JOIN_CHOICES": MULTIPATTERN_JOINS,
+    "CONDITION_CACHE_CHOICES": CONDITION_CACHES,
     "CYCLE_FILTER_CHOICES": CYCLE_FILTERS,
     "EXTRACTION_CHOICES": EXTRACTORS,
 }
