@@ -25,6 +25,7 @@ from repro.core.registry import (
     MULTIPATTERN_JOINS,
     SCHEDULERS,
     SEARCH_MODES,
+    SHAPE_ANALYSES,
 )
 from repro.costs import AnalyticCostModel
 from repro.ir.serialize import save_graph
@@ -76,7 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument(
         "--condition-cache", choices=CONDITION_CACHES.names(),
         default=_CONFIG_DEFAULTS.condition_cache,
-        help="shape/condition-check caching: generation-invalidated memo or direct evaluation",
+        help="shape/condition-check caching: auto (resolve against the shape "
+             "analysis), generation-invalidated memo, or direct evaluation",
+    )
+    opt.add_argument(
+        "--shape-analysis", choices=SHAPE_ANALYSES.names(),
+        default=_CONFIG_DEFAULTS.shape_analysis,
+        help="condition checking: compiled programs over precomputed per-e-class "
+             "facts, or on-demand shape inference per candidate binding",
     )
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
@@ -110,6 +118,7 @@ def _config_from_args(args) -> TensatConfig:
         scheduler=args.scheduler,
         multipattern_join=args.multipattern_join,
         condition_cache=args.condition_cache,
+        shape_analysis=args.shape_analysis,
     )
 
 

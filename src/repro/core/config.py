@@ -14,6 +14,7 @@ from repro.core.registry import (
     MULTIPATTERN_JOINS,
     SCHEDULERS,
     SEARCH_MODES,
+    SHAPE_ANALYSES,
 )
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "CONDITION_CACHE_CHOICES",
     "CYCLE_FILTER_CHOICES",
     "EXTRACTION_CHOICES",
+    "SHAPE_ANALYSIS_CHOICES",
 ]
 
 #: Import-time snapshots of the registry names, kept for backward
@@ -38,6 +40,7 @@ MULTIPATTERN_JOIN_CHOICES = MULTIPATTERN_JOINS.names()
 CONDITION_CACHE_CHOICES = CONDITION_CACHES.names()
 CYCLE_FILTER_CHOICES = CYCLE_FILTERS.names()
 EXTRACTION_CHOICES = EXTRACTORS.names()
+SHAPE_ANALYSIS_CHOICES = SHAPE_ANALYSES.names()
 
 #: Knob name -> the registry its value must name an entry of.
 _KNOB_REGISTRIES = (
@@ -47,6 +50,7 @@ _KNOB_REGISTRIES = (
     ("search_mode", SEARCH_MODES),
     ("multipattern_join", MULTIPATTERN_JOINS),
     ("condition_cache", CONDITION_CACHES),
+    ("shape_analysis", SHAPE_ANALYSES),
     ("cycle_filter", CYCLE_FILTERS),
     ("ilp_backend", ILP_BACKENDS),
 )
@@ -106,12 +110,22 @@ class TensatConfig:
     #: spec).  Both produce identical combination lists, so the saturation
     #: trajectory is join-blind; see docs/multipattern.md.
     multipattern_join: str = "hash"
-    #: Shape/condition-check caching: "memo" (default) memoizes condition
-    #: verdicts per (rule, canonical binding), invalidated at each rebuild
-    #: for the e-classes whose state changed; "off" re-evaluates every check.
-    #: Identical match lists (and trajectories) either way -- pinned by the
-    #: golden tests; see docs/apply_plan.md.
-    condition_cache: str = "memo"
+    #: Shape/condition-check caching: "auto" (default) resolves against the
+    #: e-graph's analysis -- "off" when the shape analysis serves compiled
+    #: per-class facts (a direct check is then an O(1) lookup the memo cannot
+    #: beat), "memo" on the on-demand inference path.  "memo" memoizes
+    #: condition verdicts per (rule, canonical binding), invalidated at each
+    #: rebuild for the e-classes whose state changed; "off" re-evaluates
+    #: every check.  Identical match lists (and trajectories) in every
+    #: setting -- pinned by the golden tests; see docs/apply_plan.md.
+    condition_cache: str = "auto"
+    #: How rewrite conditions consume the tensor e-class analysis: "on"
+    #: (default) precomputes interned per-e-class facts and compiles
+    #: ``targets_shape_valid`` targets into flat programs over them; "off"
+    #: re-runs bottom-up shape inference per candidate binding (the
+    #: executable spec).  Bit-identical trajectories either way -- pinned by
+    #: the golden tests; see docs/shape_analysis.md.
+    shape_analysis: str = "on"
 
     # ------------------------------------------------------------------ #
     # Cycle handling

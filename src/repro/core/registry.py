@@ -21,11 +21,15 @@ Factory signatures by registry:
 * ``EXTRACTORS``         -- ``factory(node_cost, config, filter_list) -> Extractor``
 * ``CYCLE_FILTERS``      -- ``factory() -> CycleFilter``
 * ``MULTIPATTERN_JOINS`` -- ``join(rule, egraph, per_source_matches, max_combinations, checker=None) -> List[MultiMatch]``
-* ``CONDITION_CACHES``   -- ``factory() -> ConditionChecker``
-* ``MATCHERS`` / ``SEARCH_MODES`` / ``ILP_BACKENDS`` -- mode descriptors (the
-  entry value is a description string); the implementations are structural
-  dispatch inside :mod:`repro.egraph.runner` / :mod:`repro.egraph.extraction.ilp`,
-  so these registries govern the *valid names* only.
+* ``CONDITION_CACHES``   -- ``factory() -> ConditionChecker`` ("auto" is a
+  descriptor entry resolved by the runner before construction, see
+  :func:`repro.egraph.checkcache.resolve_condition_cache`)
+* ``MATCHERS`` / ``SEARCH_MODES`` / ``SHAPE_ANALYSES`` / ``ILP_BACKENDS`` --
+  mode descriptors (the entry value is a description string); the
+  implementations are structural dispatch inside
+  :mod:`repro.egraph.runner` / :mod:`repro.ir.convert` /
+  :mod:`repro.egraph.extraction.ilp`, so these registries govern the
+  *valid names* only.
 
 This module must stay importable from :mod:`repro.egraph` modules' function
 bodies, so it may import from :mod:`repro.egraph` but never from
@@ -53,6 +57,7 @@ __all__ = [
     "MULTIPATTERN_JOINS",
     "SCHEDULERS",
     "SEARCH_MODES",
+    "SHAPE_ANALYSES",
 ]
 
 
@@ -188,12 +193,17 @@ MULTIPATTERN_JOINS = Registry("multipattern join")
 MULTIPATTERN_JOINS.register("hash", MultiPatternRewrite._combine_hash)
 MULTIPATTERN_JOINS.register("product", MultiPatternRewrite._combine_product)
 
-#: Condition-check caching (paper Section 4 shape checks).  Entries are
-#: factories ``() -> ConditionChecker``: "memo" memoizes verdicts per
+#: Condition-check caching (paper Section 4 shape checks).  "memo" and "off"
+#: are factories ``() -> ConditionChecker``: "memo" memoizes verdicts per
 #: canonical binding with generation invalidation at each rebuild, "off"
-#: evaluates every check directly.  Both yield identical match lists, so the
-#: saturation trajectory is cache-blind (pinned by the golden tests).
+#: evaluates every check directly.  "auto" (the default) is a descriptor the
+#: runner resolves against the e-graph's analysis before construction --
+#: "off" when compiled shape facts make every check an O(1) lookup, "memo"
+#: otherwise (see :func:`repro.egraph.checkcache.resolve_condition_cache`).
+#: Every setting yields identical match lists, so the saturation trajectory
+#: is cache-blind (pinned by the golden tests).
 CONDITION_CACHES = Registry("condition cache")
+CONDITION_CACHES.register("auto", "off with compiled shape facts, memo otherwise")
 CONDITION_CACHES.register("memo", MemoizedConditionChecker)
 CONDITION_CACHES.register("off", DirectConditionChecker)
 
@@ -206,6 +216,17 @@ MATCHERS.register("naive", "interpretive reference matcher (the executable spec)
 SEARCH_MODES = Registry("search mode")
 SEARCH_MODES.register("trie", "one shared-prefix rule trie per root operator")
 SEARCH_MODES.register("per-rule", "one compiled program per rule")
+
+#: How rewrite conditions consume the tensor e-class analysis (mode
+#: descriptors; dispatch lives in :func:`repro.ir.convert.egraph_from_graph`
+#: and :mod:`repro.rules.conditions`).  "on" compiles target patterns into
+#: flat programs over the interned per-e-class facts
+#: (:mod:`repro.egraph.shapeanalysis`); "off" keeps the on-demand bottom-up
+#: inference per candidate binding (the executable spec).  Both walk
+#: bit-identical trajectories (pinned by the golden tests).
+SHAPE_ANALYSES = Registry("shape analysis")
+SHAPE_ANALYSES.register("on", "compiled condition programs over interned per-e-class facts")
+SHAPE_ANALYSES.register("off", "on-demand shape inference per candidate binding (the spec)")
 
 #: ILP solver backends (mode descriptors; dispatch lives in extraction/ilp.py).
 ILP_BACKENDS = Registry("ilp backend")

@@ -188,7 +188,9 @@ class OptimizationSession:
         self.rules = rules if rules is not None else default_ruleset()
         self.config = config if config is not None else TensatConfig()
         self.observers = tuple(observers)
-        self.egraph, self.root = egraph_from_graph(graph)
+        self.egraph, self.root = egraph_from_graph(
+            graph, shape_analysis=(self.config.shape_analysis == "on")
+        )
         self.cycle_filter = make_cycle_filter(self.config.cycle_filter)
         self.runner = Runner(
             self.egraph,

@@ -13,6 +13,20 @@ The protocol mirrors egg's:
   reports whether the merged value differs from either input (so the e-graph
   knows to re-propagate).
 * :meth:`Analysis.modify` may inspect/extend an e-class after its data changed.
+
+Reentrancy contract: ``modify`` may call ``egraph.add`` / ``egraph.union``
+(constant folding does exactly that) *including* while a rebuild wave is in
+flight.  The e-graph guarantees that classes created or merged by a
+reentrant hook are themselves repaired before
+:meth:`~repro.egraph.egraph.EGraph.rebuild` returns -- reentrant work lands
+on the live worklists and is drained by a later wave.  ``make`` and
+``merge`` must stay pure (no e-graph mutation): only ``modify`` may
+re-enter.
+
+The tensor analysis used by TENSAT proper lives in
+:mod:`repro.egraph.shapeanalysis` (interned per-e-class tensor facts);
+:class:`ConstantFoldAnalysis` below is the small didactic analysis the unit
+tests drive the reentrancy contract with.
 """
 
 from __future__ import annotations
@@ -23,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.egraph.egraph import EGraph
     from repro.egraph.language import ENode
 
-__all__ = ["Analysis", "NoAnalysis", "DepthAnalysis"]
+__all__ = ["Analysis", "NoAnalysis", "DepthAnalysis", "ConstantFoldAnalysis"]
 
 
 class Analysis:
@@ -76,7 +90,10 @@ class ConstantFoldAnalysis(Analysis):
     """Example analysis: fold integer arithmetic (``+``, ``*``, ``<<``).
 
     Only used by unit tests and documentation examples; the tensor analysis
-    used by TENSAT proper lives in :mod:`repro.ir.convert`.
+    used by TENSAT proper lives in :mod:`repro.egraph.shapeanalysis`.  Its
+    ``modify`` hook re-enters the e-graph (``add`` + ``union`` of the folded
+    constant), which makes it the canonical exercise of the rebuild
+    reentrancy contract documented in the module docstring.
     """
 
     _OPS = {

@@ -24,6 +24,18 @@ interface: it evaluates every condition but still accounts time and call
 counts, so the ``condition_seconds`` stat is comparable across the
 ``condition_cache`` knob's settings.
 
+Scope, post shape analysis: with the e-class shape analysis on
+(:mod:`repro.egraph.shapeanalysis`), ``targets_shape_valid`` evaluates as a
+compiled program over precomputed per-class facts, so a direct check costs
+about as much as building the memo's binding key -- measured on nasrnn the
+memo was a small net *regression* in that regime (its hit rate is low
+because multi-pattern binding tuples rarely repeat across rebuilds).  The
+``condition_cache="auto"`` setting therefore resolves to ``"off"`` when the
+e-graph's analysis advertises compiled facts and to ``"memo"`` otherwise
+(:func:`resolve_condition_cache`); the memo remains the right tool for the
+on-demand inference spec path (``shape_analysis="off"``) and for expensive
+third-party conditions.
+
 Contract for conditions: a condition must be a pure function of the e-graph
 state of the e-classes its match *binds* -- the substitution's values, whose
 analysis data shape inference reads -- and not of the matched root classes
@@ -41,7 +53,27 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, Tuple
 
-__all__ = ["ConditionChecker", "DirectConditionChecker", "MemoizedConditionChecker"]
+__all__ = [
+    "ConditionChecker",
+    "DirectConditionChecker",
+    "MemoizedConditionChecker",
+    "resolve_condition_cache",
+]
+
+
+def resolve_condition_cache(kind: str, analysis) -> str:
+    """Resolve the ``condition_cache`` knob against the e-graph's analysis.
+
+    ``"auto"`` (the default) picks ``"off"`` when ``analysis`` advertises
+    compiled per-class shape facts (``analysis.compiled_conditions`` --
+    condition evaluation is then an O(1)-ish fact lookup that the memo's
+    key construction cannot beat) and ``"memo"`` otherwise (the on-demand
+    inference spec path, where a served verdict saves a full re-inference).
+    Concrete kinds pass through unchanged.
+    """
+    if kind != "auto":
+        return kind
+    return "off" if getattr(analysis, "compiled_conditions", False) else "memo"
 
 
 def _binding_key(egraph, match, var_order=None) -> Tuple[int, ...]:

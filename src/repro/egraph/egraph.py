@@ -199,12 +199,20 @@ class EGraph:
         winner.nodes.extend(loser.nodes)
         winner.parents.extend(loser.parents)
 
-        merged, changed = self.analysis.merge(winner.data, loser.data)
+        loser_data = loser.data
+        merged, changed = self.analysis.merge(winner.data, loser_data)
         winner.data = merged
         self._dirty.add(new_root)
         self._cond_dirty.add(new_root)
         self._pending.append(new_root)
-        if changed:
+        # Queue analysis repair when the merged data differs from *either*
+        # side's previous data: ``changed`` reports only the winner's side,
+        # but the loser's parents computed their data from the loser's old
+        # value, so a merge that leaves the winner untouched while replacing
+        # the loser's data (e.g. valid absorbing invalid, or a side with
+        # extra split records) must re-make the parents too -- otherwise
+        # they keep stale facts forever.
+        if changed or merged != loser_data:
             self._analysis_pending.append(new_root)
         self.analysis.modify(self, new_root)
         return new_root
@@ -242,10 +250,23 @@ class EGraph:
     def rebuild(self) -> int:
         """Restore the congruence and hash-cons invariants after unions.
 
-        Each wave dedupes the pending worklist under :meth:`find` up front and
-        repairs the whole batch at once (:meth:`_repair_classes`); waves repeat
-        until no repair queues further work.  Returns the number of additional
-        unions performed.
+        Each wave dedupes the pending worklist under :meth:`find` up front
+        and repairs the whole batch at once: structural congruence first
+        (:meth:`_repair_classes`), then one batched analysis wave
+        (:meth:`_repair_analysis_classes`) that re-makes the parents of every
+        class whose data changed.  Waves repeat until no repair queues
+        further work, so the analysis data reaches its make/merge fixpoint
+        before rebuild returns.
+
+        Analysis hooks may re-enter the e-graph mid-wave:
+        :meth:`~repro.egraph.analysis.Analysis.modify` is allowed to call
+        :meth:`add` / :meth:`union` during repair (constant folding does).
+        Work queued by such reentrant calls lands on the live worklists and
+        is drained by a later wave of the same ``while`` loop -- classes
+        created mid-wave are therefore repaired before rebuild returns (a
+        contract pinned by the analysis regression tests).
+
+        Returns the number of additional unions performed.
         """
         n_before = self._n_unions
         while self._pending or self._analysis_pending:
@@ -254,10 +275,10 @@ class EGraph:
             if todo:
                 self._repair_classes(todo)
 
-            analysis_todo = {self.find(e) for e in self._analysis_pending}
+            analysis_todo = sorted({self.find(e) for e in self._analysis_pending})
             self._analysis_pending.clear()
-            for eclass_id in analysis_todo:
-                self._repair_analysis(eclass_id)
+            if analysis_todo:
+                self._repair_analysis_classes(analysis_todo)
         return self._n_unions - n_before
 
     def _repair(self, eclass_id: int) -> None:
@@ -341,12 +362,39 @@ class EGraph:
             eclass.nodes = list(deduped.keys())
 
     def _repair_analysis(self, eclass_id: int) -> None:
-        eclass = self._classes.get(self.find(eclass_id))
-        if eclass is None:
-            return
-        for parent_node, parent_class in list(eclass.parents):
+        self._repair_analysis_classes([eclass_id])
+
+    def _repair_analysis_classes(self, todo: Sequence[int]) -> None:
+        """Batched analysis repair for one rebuild wave.
+
+        The parent entries of every class in ``todo`` are gathered up front
+        and deduplicated on ``(canonical parent node, parent class)``: a
+        parent whose several children all changed data this wave appears in
+        several parent lists, but its ``make`` runs once.  Entries are then
+        re-made in gather order -- re-canonicalised at use time, because a
+        reentrant ``modify`` hook (e.g. constant folding calling
+        ``add``/``union``) may merge classes mid-wave.  Changes queue the
+        parent for the next wave, exactly like structural repair.
+        """
+        entries: List[Tuple[ENode, int]] = []
+        seen: Set[Tuple[ENode, int]] = set()
+        for eclass_id in todo:
+            eclass = self._classes.get(self.find(eclass_id))
+            if eclass is None:
+                continue
+            for parent_node, parent_class in list(eclass.parents):
+                canonical = self.canonicalize(parent_node)
+                entry = (canonical, self.find(parent_class))
+                if entry in seen:
+                    continue
+                seen.add(entry)
+                entries.append(entry)
+
+        for parent_node, parent_class in entries:
             parent_class = self.find(parent_class)
-            parent = self._classes[parent_class]
+            parent = self._classes.get(parent_class)
+            if parent is None:
+                continue
             new_data = self.analysis.make(self, self.canonicalize(parent_node))
             merged, changed = self.analysis.merge(parent.data, new_data)
             if changed:

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.egraph.applier import ApplyPlan
+from repro.egraph.checkcache import resolve_condition_cache
 from repro.egraph.cycles import CycleFilter, FilterList, NoCycleFilter
 from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import naive_search_pattern
@@ -188,11 +189,14 @@ class RunnerLimits:
     #: or "naive" (the interpretive reference matcher).  Both produce the same
     #: match lists, so the exploration trajectory is identical.
     matcher: str = "vm"
-    #: Shape/condition-check caching: "memo" (default) memoizes verdicts per
-    #: canonical binding, invalidated when a bound e-class changes at a
-    #: rebuild; "off" re-evaluates every check.  Identical match lists either
-    #: way, so the trajectory is cache-blind.
-    condition_cache: str = "memo"
+    #: Shape/condition-check caching: "auto" (default) resolves against the
+    #: e-graph's analysis -- "off" when it serves compiled per-class shape
+    #: facts (checks are O(1)-ish lookups the memo cannot beat), "memo"
+    #: otherwise; "memo" memoizes verdicts per canonical binding,
+    #: invalidated when a bound e-class changes at a rebuild; "off"
+    #: re-evaluates every check.  Identical match lists in every setting, so
+    #: the trajectory is cache-blind.
+    condition_cache: str = "auto"
     #: How the VM organises the search: "trie" (default) merges all rule
     #: programs into one shared-prefix trie per root operator and matches
     #: every rule in a single traversal of each op bucket; "per-rule" runs
@@ -297,7 +301,13 @@ class Runner:
         MULTIPATTERN_JOINS.check(self.limits.multipattern_join)
         # Shape/condition-check path: a memoizing cache or the direct
         # evaluator, both accounting time and call counts identically.
-        self.condition_checker = CONDITION_CACHES.create(self.limits.condition_cache)
+        # "auto" resolves against the e-graph's analysis (off when it serves
+        # compiled shape facts, memo otherwise); the registry check runs on
+        # the un-resolved name so unknown kinds still fail loudly.
+        CONDITION_CACHES.check(self.limits.condition_cache)
+        self.condition_checker = CONDITION_CACHES.create(
+            resolve_condition_cache(self.limits.condition_cache, egraph.analysis)
+        )
         # Raises on an unknown scheduler kind, same as the matcher checks.
         self.scheduler: Scheduler = make_scheduler(
             self.limits.scheduler, self.limits.match_limit, self.limits.ban_length

@@ -8,20 +8,21 @@
 * :class:`TensorAnalysis` is the e-class analysis that carries
   :class:`~repro.ir.tensor.TensorData` (shape, split locations) for every
   e-class, used for shape checking during exploration and for the cost model
-  during extraction (paper Section 6).
+  during extraction (paper Section 6).  The implementation lives in
+  :mod:`repro.egraph.shapeanalysis` (interned per-e-class facts); the name
+  here is the historical front door and stays importable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.egraph.analysis import Analysis
 from repro.egraph.egraph import EGraph
 from repro.egraph.language import ENode, RecExpr
+from repro.egraph.shapeanalysis import TensorShapeAnalysis
 from repro.ir.graph import Node, TensorGraph
 from repro.ir.ops import OpKind, symbol_to_op
 from repro.ir.shapes import infer_symbol
-from repro.ir.tensor import DataKind, ShapeError, TensorData
 
 __all__ = ["graph_to_recexpr", "recexpr_to_graph", "TensorAnalysis", "egraph_from_graph"]
 
@@ -108,53 +109,17 @@ def recexpr_to_graph(expr: RecExpr, name: str = "extracted") -> TensorGraph:
 # ---------------------------------------------------------------------- #
 
 
-class TensorAnalysis(Analysis):
+class TensorAnalysis(TensorShapeAnalysis):
     """E-class analysis carrying tensor metadata (shape, split locations).
 
-    ``make`` runs shape inference for each new e-node; when the operands are
-    incompatible the e-node's data is marked invalid (rewrite conditions
-    prevent such nodes from being added in the first place, and the cost model
-    assigns them an effectively infinite cost so they are never extracted).
-
-    ``merge`` prefers valid data over invalid data and merges split-location
-    records; equivalent tensors must agree on shape, which is asserted only in
-    ``strict`` mode to keep exploration robust.
+    The historical name for :class:`~repro.egraph.shapeanalysis.TensorShapeAnalysis`,
+    kept as the IR-facing front door: ``make`` runs shape inference per new
+    e-node, ``merge`` prefers valid data, unions split-location records, and
+    detects shape conflicts (raising only in ``strict`` mode to keep
+    exploration robust).  Facts are interned so condition checks can compare
+    them by pointer; see the module docstring of
+    :mod:`repro.egraph.shapeanalysis`.
     """
-
-    def __init__(self, strict: bool = False) -> None:
-        self.strict = strict
-
-    def make(self, egraph: EGraph, enode: ENode) -> TensorData:
-        children = [egraph.analysis_data(c) for c in enode.children]
-        if any(child is None for child in children):
-            return TensorData.invalid("missing child analysis data")
-        try:
-            return infer_symbol(enode.op, children)
-        except ShapeError as exc:
-            return TensorData.invalid(str(exc))
-
-    def merge(self, a: TensorData, b: TensorData) -> Tuple[TensorData, bool]:
-        if a is None:
-            return b, True
-        if b is None:
-            return a, False
-        if not a.is_valid and b.is_valid:
-            return b, True
-        if not b.is_valid or not a.is_valid:
-            return a, False
-        if a.kind == DataKind.TENSOR and b.kind == DataKind.TENSOR:
-            if a.shape != b.shape and self.strict:
-                raise ShapeError(f"merging e-classes with different shapes: {a.shape} vs {b.shape}")
-            # Union split-location records, keeping a's entries on conflict.
-            merged = a
-            known_axes = {ax for ax, _ in a.split_sizes}
-            changed = False
-            for ax, sizes in b.split_sizes:
-                if ax not in known_axes:
-                    merged = merged.with_split(ax, sizes)
-                    changed = True
-            return merged, changed
-        return a, False
 
 
 # ---------------------------------------------------------------------- #
@@ -162,12 +127,20 @@ class TensorAnalysis(Analysis):
 # ---------------------------------------------------------------------- #
 
 
-def egraph_from_graph(graph: TensorGraph, strict: bool = False) -> Tuple[EGraph, int]:
+def egraph_from_graph(
+    graph: TensorGraph, strict: bool = False, shape_analysis: bool = True
+) -> Tuple[EGraph, int]:
     """Create an e-graph with the :class:`TensorAnalysis` seeded with ``graph``.
+
+    ``shape_analysis`` selects how rewrite conditions consume the analysis:
+    ``True`` (the ``shape_analysis="on"`` config setting) advertises the
+    interned per-class facts so ``targets_shape_valid`` runs its compiled
+    programs; ``False`` keeps the on-demand inference path (the executable
+    spec).  The analysis data itself is maintained identically either way.
 
     Returns ``(egraph, root_eclass)``.
     """
-    egraph = EGraph(analysis=TensorAnalysis(strict=strict))
+    egraph = EGraph(analysis=TensorAnalysis(strict=strict, compiled_conditions=shape_analysis))
     expr, _ = graph_to_recexpr(graph)
     root = egraph.add_expr(expr)
     return egraph, root

@@ -4,16 +4,34 @@ The paper applies a rewrite at a syntactic match only after *shape checking*
 (Section 4): the target pattern must be well-typed for the tensors the
 variables are bound to.  The helpers below build such conditions from the
 tensor e-class analysis data.
+
+Two evaluation paths exist behind :func:`targets_shape_valid`:
+
+* **Compiled** (the default with ``shape_analysis="on"``): at
+  condition-construction time each target pattern is flattened into a
+  post-order program over slots -- variable leaves load the binding's
+  precomputed fact straight from ``egraph.analysis_data``, and only the
+  target's *new* operator spine runs :func:`~repro.ir.shapes.infer_symbol`,
+  memoized per instruction on the interned children facts
+  (:mod:`repro.egraph.shapeanalysis`), so repeated shapes across candidate
+  bindings cost one dict probe.  Sub-terms shared across targets compile to
+  one slot.
+* **Spec** (``shape_analysis="off"``, or any analysis that does not
+  advertise interned facts): :func:`_infer_term` re-runs bottom-up
+  inference per evaluation.  This is the executable specification; the
+  compiled path must return the identical verdict for every match (pinned
+  by the golden trajectory tests).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import Match
 from repro.egraph.multipattern import MultiMatch
 from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar
+from repro.egraph.shapeanalysis import intern_data
 from repro.ir.shapes import infer_symbol
 from repro.ir.tensor import DataKind, ShapeError, TensorData
 
@@ -38,6 +56,9 @@ def _infer_term(egraph: EGraph, subst: Dict[str, int], term: PatternTerm, memo: 
     run shape inference on their children's results.  ``memo`` (keyed by
     ``key_of(term)``) shares the inference of repeated sub-terms within one
     evaluation.  Raises :class:`ShapeError` when the term is ill-typed.
+
+    This is the executable spec of the compiled program in
+    :class:`TargetsShapeValid`; both paths must agree on every verdict.
     """
     key = key_of(term)
     data = memo.get(key)
@@ -66,48 +87,146 @@ def pattern_data(egraph: EGraph, pattern: Pattern, subst: Dict[str, int]) -> Ten
     return _infer_term(egraph, subst, pattern.root, {}, id)
 
 
-def targets_shape_valid(targets: Sequence[Pattern]) -> Condition:
+#: Memo sentinel: the instruction's inference raised :class:`ShapeError`
+#: for these children facts (a pure function of them, so cacheable).
+_SHAPE_ERROR = TensorData.invalid("target spine shape error")
+
+
+class TargetsShapeValid:
     """Condition: every target pattern type-checks under the match's bindings.
 
-    Sub-terms shared across targets are inferred once per evaluation: the
-    targets of a multi-pattern merge differ only in their outer projection
-    (``split0`` / ``split1`` around one merged operator chain), so the
-    expensive inference of the shared chain would otherwise run once per
-    target.  Sharing is detected structurally (per-subterm keys precomputed
-    here, at condition-construction time), so parsing the targets separately
-    does not defeat it.
+    Construction compiles the targets into one flat post-order program.
+    Each instruction is ``(var_name, op, child_slots, memo)``:
+
+    * a **variable load** (``var_name`` set) reads the binding's fact from
+      ``egraph.analysis_data`` -- an O(1) lookup, no inference;
+    * an **operator step** (``op`` set) runs ``infer_symbol`` over the
+      children slots' facts, memoized in ``memo`` keyed on the interned
+      children facts' ids.  The memo is sound across candidate bindings,
+      iterations, rebuilds, and e-graphs because inference is a pure
+      function of the children facts, and the ids are stable because
+      interned facts are never freed (:mod:`repro.egraph.shapeanalysis`).
+
+    Sub-terms shared across targets are detected structurally at
+    construction time and compile to a single slot: the targets of a
+    multi-pattern merge differ only in their outer projection (``split0`` /
+    ``split1`` around one merged operator chain), so the shared chain is
+    evaluated once per match instead of once per target.
+
+    The compiled path runs only when the e-graph's analysis advertises
+    interned facts (``analysis.compiled_conditions``); otherwise the
+    on-demand :func:`_infer_term` spec path runs.  Verdicts are identical
+    either way (golden tests pin the trajectories bit-for-bit).
     """
-    # id(subterm) -> structural key; computed once, reused every evaluation.
-    subterm_keys: Dict[int, str] = {}
 
-    def index(term: PatternTerm) -> str:
-        if isinstance(term, PatternVar):
-            key = "?" + term.name
-        else:
-            key = "(" + " ".join([term.op] + [index(c) for c in term.children]) + ")"
-        subterm_keys[id(term)] = key
-        return key
+    __slots__ = ("targets", "_roots", "_subterm_keys", "_instrs", "_root_slots")
 
-    roots = [target.root for target in targets]
-    for root in roots:
-        index(root)
+    def __init__(self, targets: Sequence[Pattern]) -> None:
+        self.targets = tuple(targets)
+        self._roots = [target.root for target in self.targets]
 
-    def key_of(term: PatternTerm) -> str:
-        return subterm_keys[id(term)]
+        # id(subterm) -> structural key; shared sub-terms (within and across
+        # targets) get one key even when parsed separately.
+        self._subterm_keys: Dict[int, str] = {}
 
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        subst = match.subst
+        def index(term: PatternTerm) -> str:
+            if isinstance(term, PatternVar):
+                key = "?" + term.name
+            else:
+                key = "(" + " ".join([term.op] + [index(c) for c in term.children]) + ")"
+            self._subterm_keys[id(term)] = key
+            return key
+
+        for root in self._roots:
+            index(root)
+
+        # Flat post-order program: structural key -> slot, one instruction
+        # per distinct sub-term, children always at lower slots.
+        instrs: List[Tuple[Optional[str], Optional[str], Tuple[int, ...], dict]] = []
+        slot_of: Dict[str, int] = {}
+
+        def compile_term(term: PatternTerm) -> int:
+            key = self._subterm_keys[id(term)]
+            slot = slot_of.get(key)
+            if slot is not None:
+                return slot
+            if isinstance(term, PatternVar):
+                instr = (term.name, None, (), {})
+            else:
+                child_slots = tuple(compile_term(c) for c in term.children)
+                instr = (None, term.op, child_slots, {})
+            slot = len(instrs)
+            instrs.append(instr)
+            slot_of[key] = slot
+            return slot
+
+        self._root_slots = tuple(compile_term(root) for root in self._roots)
+        self._instrs = tuple(instrs)
+
+    def _key_of(self, term: PatternTerm) -> str:
+        return self._subterm_keys[id(term)]
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        # Adapters (e.g. the TASO-style search's GraphAnalysisAdapter) expose
+        # only analysis_data/find; the compiled path additionally requires the
+        # analysis to advertise interned facts, so fall back to the spec path
+        # unless it does.
+        analysis = getattr(egraph, "analysis", None)
+        if getattr(analysis, "compiled_conditions", False):
+            return self._check_compiled(egraph, match.subst)
+        return self._check_spec(egraph, match.subst)
+
+    # -- compiled path -------------------------------------------------- #
+
+    def _check_compiled(self, egraph: EGraph, subst: Dict[str, int]) -> bool:
+        data_of = egraph.analysis_data
+        subst_get = subst.get
+        values: List[TensorData] = []
+        append = values.append
+        for var, op, child_slots, memo in self._instrs:
+            if var is not None:
+                eclass = subst_get(var)
+                if eclass is None:
+                    return False
+                data = data_of(eclass)
+                if data is None or not data.is_valid:
+                    return False
+            else:
+                children = [values[i] for i in child_slots]
+                key = tuple(map(id, children))
+                data = memo.get(key)
+                if data is None:
+                    try:
+                        data = intern_data(infer_symbol(op, children))
+                    except ShapeError:
+                        data = _SHAPE_ERROR
+                    memo[key] = data
+                if not data.is_valid:
+                    return False
+            append(data)
+        return True
+
+    # -- spec path (executable specification) --------------------------- #
+
+    def _check_spec(self, egraph: EGraph, subst: Dict[str, int]) -> bool:
         memo: Dict[str, TensorData] = {}
-        for root in roots:
+        for root in self._roots:
             try:
-                data = _infer_term(egraph, subst, root, memo, key_of)
+                data = _infer_term(egraph, subst, root, memo, self._key_of)
             except ShapeError:
                 return False
             if not data.is_valid:
                 return False
         return True
 
-    return condition
+
+def targets_shape_valid(targets: Sequence[Pattern]) -> Condition:
+    """Condition: every target pattern type-checks under the match's bindings.
+
+    See :class:`TargetsShapeValid` for the compiled-program evaluation and
+    the on-demand inference spec path it dispatches between.
+    """
+    return TargetsShapeValid(targets)
 
 
 def var_is_int(var: str, value: Optional[int] = None) -> Condition:
@@ -138,16 +257,34 @@ def var_rank_is(var: str, rank: int) -> Condition:
     return condition
 
 
+def _tensor_pair(egraph: EGraph, match: AnyMatch, var_a: str, var_b: str):
+    """The two variables' facts when both are bound tensors, else ``None``.
+
+    All the point conditions below start the same way: a ``subst.get`` per
+    variable, a single ``analysis_data`` read each, and a kind check --
+    precomputed facts make the whole precondition a couple of dict lookups.
+    """
+    eclass_a = match.subst.get(var_a)
+    eclass_b = match.subst.get(var_b)
+    if eclass_a is None or eclass_b is None:
+        return None
+    da = egraph.analysis_data(eclass_a)
+    db = egraph.analysis_data(eclass_b)
+    if da is None or db is None:
+        return None
+    if da.kind != DataKind.TENSOR or db.kind != DataKind.TENSOR:
+        return None
+    return da, db
+
+
 def var_shape_axis_equal(var_a: str, var_b: str, axis: int) -> Condition:
     """Condition: two tensor variables agree on the size of ``axis``."""
 
     def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        da = egraph.analysis_data(match.subst.get(var_a, -1)) if var_a in match.subst else None
-        db = egraph.analysis_data(match.subst.get(var_b, -1)) if var_b in match.subst else None
-        if da is None or db is None:
+        pair = _tensor_pair(egraph, match, var_a, var_b)
+        if pair is None:
             return False
-        if da.kind != DataKind.TENSOR or db.kind != DataKind.TENSOR:
-            return False
+        da, db = pair
         if da.rank <= axis or db.rank <= axis:
             return False
         return da.shape[axis] == db.shape[axis]
@@ -163,12 +300,10 @@ def conv_not_grouped(input_var: str, weight_var: str) -> Condition:
     """
 
     def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        x = egraph.analysis_data(match.subst.get(input_var, -1)) if input_var in match.subst else None
-        w = egraph.analysis_data(match.subst.get(weight_var, -1)) if weight_var in match.subst else None
-        if x is None or w is None:
+        pair = _tensor_pair(egraph, match, input_var, weight_var)
+        if pair is None:
             return False
-        if x.kind != DataKind.TENSOR or w.kind != DataKind.TENSOR:
-            return False
+        x, w = pair
         if x.rank != 4 or w.rank != 4:
             return False
         return x.shape[1] == w.shape[1]
@@ -187,12 +322,10 @@ def enlarge_compatible(small_var: str, large_var: str) -> Condition:
     """
 
     def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        small = egraph.analysis_data(match.subst.get(small_var, -1)) if small_var in match.subst else None
-        large = egraph.analysis_data(match.subst.get(large_var, -1)) if large_var in match.subst else None
-        if small is None or large is None:
+        pair = _tensor_pair(egraph, match, small_var, large_var)
+        if pair is None:
             return False
-        if small.kind != DataKind.TENSOR or large.kind != DataKind.TENSOR:
-            return False
+        small, large = pair
         if small.rank != 4 or large.rank != 4:
             return False
         if small.shape[1] != large.shape[1]:

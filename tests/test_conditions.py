@@ -19,13 +19,16 @@ from repro.rules.conditions import (
 from repro.ir.tensor import ShapeError
 
 
-def matmul_pair_egraph(cols1=32, cols2=48):
+def matmul_pair_graph(cols1=32, cols2=48):
     b = GraphBuilder()
     x = b.input("x", (8, 64))
     w1 = b.weight("w1", (64, cols1))
     w2 = b.weight("w2", (64, cols2))
-    g = b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
-    return egraph_from_graph(g)
+    return b.finish(outputs=[b.matmul(x, w1), b.matmul(x, w2)])
+
+
+def matmul_pair_egraph(cols1=32, cols2=48):
+    return egraph_from_graph(matmul_pair_graph(cols1, cols2))
 
 
 def match_for(egraph, pattern_text):
@@ -131,3 +134,74 @@ class TestConvConditions:
         eg, _ = self.conv_egraph(k1=1, k2=4)
         m = match_for(eg, "(noop (conv 1 1 0 0 ?x ?w1) (conv 1 1 0 0 ?x ?w2))")
         assert not enlarge_compatible("w1", "w2")(eg, m)
+
+
+class TestCompiledSpecParity:
+    """The compiled condition programs must agree with on-demand inference.
+
+    ``egraph_from_graph(..., shape_analysis=True)`` advertises the interned
+    per-class facts, so ``targets_shape_valid`` takes its compiled path;
+    ``shape_analysis=False`` forces the on-demand inference spec path.  Both
+    e-graphs are built from the same graph, so matches carry identical
+    substitutions and every verdict must coincide.
+    """
+
+    PATTERNS = [
+        "(matmul 0 ?x ?w1)",
+        "(matmul ?act ?x ?w1)",
+        "(noop (matmul 0 ?x ?w1) (matmul 0 ?x ?w2))",
+    ]
+    TARGETS = [
+        ["(matmul 1 ?x ?w1)"],
+        ["(ewadd ?x ?w1)"],
+        ["(matmul 0 ?x ?w1)", "(matmul 0 ?x ?w2)"],
+        ["(matmul 0 ?x (ewadd ?w1 ?w2))"],
+        ["(ewadd (matmul 0 ?x ?w1) (matmul 0 ?x ?w2))"],
+        ["(matmul 0 ?x ?unbound)"],
+    ]
+
+    @pytest.mark.parametrize("cols", [(32, 48), (32, 32)])
+    def test_verdicts_match_on_every_binding(self, cols):
+        g = matmul_pair_graph(*cols)
+        compiled_eg, _ = egraph_from_graph(g, shape_analysis=True)
+        spec_eg, _ = egraph_from_graph(g, shape_analysis=False)
+        assert compiled_eg.analysis.compiled_conditions
+        assert not spec_eg.analysis.compiled_conditions
+        checked = 0
+        for pattern_text in self.PATTERNS:
+            pattern = Pattern.parse(pattern_text)
+            compiled_matches = search_pattern(compiled_eg, pattern)
+            spec_matches = search_pattern(spec_eg, pattern)
+            assert [m.subst for m in compiled_matches] == [m.subst for m in spec_matches]
+            for targets in self.TARGETS:
+                cond = targets_shape_valid([Pattern.parse(t) for t in targets])
+                for cm, sm in zip(compiled_matches, spec_matches):
+                    assert cond(compiled_eg, cm) == cond(spec_eg, sm), (
+                        f"compiled/spec divergence for {targets} on {cm.subst}"
+                    )
+                    checked += 1
+        assert checked > 0
+
+    def test_compiled_memo_reused_across_bindings(self):
+        # The per-instruction memo is keyed on interned child fact ids, so a
+        # second binding with the same operand facts is a pure lookup.
+        eg, _ = matmul_pair_egraph(cols1=32, cols2=32)
+        m = match_for(eg, "(matmul 0 ?x ?w1)")
+        cond = targets_shape_valid([Pattern.parse("(matmul 1 ?x ?w1)")])
+        assert cond(eg, m)
+        op_memos = [instr[3] for instr in cond._instrs if instr[1] is not None]
+        assert op_memos and all(len(memo) == 1 for memo in op_memos)
+        assert cond(eg, m)
+        assert all(len(memo) == 1 for memo in op_memos)
+
+    def test_shared_subterms_compile_to_one_slot(self):
+        cond = targets_shape_valid(
+            [
+                Pattern.parse("(ewadd (matmul 0 ?x ?w1) (matmul 0 ?x ?w1))"),
+                Pattern.parse("(matmul 0 ?x ?w1)"),
+            ]
+        )
+        # ?x, ?w1, (matmul 0 ?x ?w1), the literal 0, and the ewadd: the
+        # repeated matmul subterm dedups to a single instruction slot.
+        ops = [instr[1] for instr in cond._instrs if instr[1] is not None]
+        assert ops.count("matmul") == 1

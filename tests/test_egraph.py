@@ -198,6 +198,38 @@ class TestAnalyses:
         root = eg.add_term("(+ x 1)")
         assert eg.analysis_data(root) is None
 
+    def test_rebuild_repairs_classes_created_by_reentrant_modify(self):
+        # ConstantFoldAnalysis.modify re-enters the e-graph (add + union of
+        # the folded constant) *while the rebuild's analysis wave is in
+        # flight*.  The contract (repro.egraph.analysis module docstring):
+        # everything created or merged by such reentrant hooks is itself
+        # repaired before rebuild() returns.  Regression shape: unioning x
+        # with 3 folds (+ x 2) to 5 during the wave, whose modify unions in
+        # a fresh "5" class; the outer (* (+ x 2) 4) must still be folded
+        # to 20 -- and its own modify's "20" class repaired -- in the same
+        # rebuild call.
+        eg = EGraph(analysis=ConstantFoldAnalysis())
+        plus = eg.add_term("(+ x 2)")
+        outer = eg.add_term("(* (+ x 2) 4)")
+        assert eg.analysis_data(plus) is None
+        assert eg.analysis_data(outer) is None
+
+        eg.union(eg.add_term("x"), eg.add_term("3"))
+        eg.rebuild()
+
+        assert eg.analysis_data(eg.find(plus)) == 5
+        assert eg.analysis_data(eg.find(outer)) == 20
+        # modify's folded constants landed in the right classes.
+        assert eg.represents(eg.find(plus), RecExpr.parse("5"))
+        assert eg.represents(eg.find(outer), RecExpr.parse("20"))
+        # Fixpoint: no class's data improves if we re-make its nodes now --
+        # i.e. the rebuild did not drop any repair queued mid-wave.
+        for eclass_id, node in eg.enodes():
+            data = eg.analysis_data(eg.find(eclass_id))
+            remade = eg.analysis.make(eg, eg.canonicalize(node))
+            _, changed = eg.analysis.merge(data, remade)
+            assert not changed, f"stale analysis data in class {eg.find(eclass_id)}"
+
 
 class TestExportAndSummary:
     def test_to_dot_contains_classes(self):

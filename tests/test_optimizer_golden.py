@@ -99,6 +99,29 @@ def test_condition_cache_off_matches_on(model):
 
 @pytest.mark.slow
 @pytest.mark.parametrize("model", ["nasrnn", "resnext"])
+def test_shape_analysis_off_matches_on(model):
+    """Compiled per-class shape facts must not change the trajectory.
+
+    ``shape_analysis="off"`` re-runs bottom-up shape inference per candidate
+    binding (the executable spec); ``"on"`` reads precomputed interned facts
+    from the e-class analysis and runs compiled flat programs for the target
+    spine.  Inference is a pure function of the bound classes' facts, so
+    every condition verdict -- and therefore the whole trajectory -- must be
+    bit-for-bit identical.  A divergence here means the analysis served a
+    stale or wrongly-merged fact.  k_multi=2 keeps the multi-pattern
+    combination checks (the hot path the analysis targets) active.
+    ``condition_cache`` is pinned to "off" on both sides so this test
+    isolates the analysis (the "auto" default resolves differently per
+    side).
+    """
+    overrides = dict(extraction="greedy", k_multi=2, condition_cache="off")
+    golden = _golden_record(model, overrides, shape_analysis="off")
+    record = _golden_record(model, overrides, shape_analysis="on")
+    assert record == golden
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model", ["nasrnn", "resnext"])
 def test_birth_stamps_bit_identical_across_search_paths(model):
     """Node birth stamps must not depend on the search path.
 

@@ -23,6 +23,7 @@ from repro.core.registry import (
     Registry,
     SCHEDULERS,
     SEARCH_MODES,
+    SHAPE_ANALYSES,
 )
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.scheduler import SimpleScheduler
@@ -85,9 +86,10 @@ class TestBuiltinEntries:
         assert EXTRACTORS.names() == ("ilp", "greedy")
         assert CYCLE_FILTERS.names() == ("efficient", "vanilla", "none")
         assert MULTIPATTERN_JOINS.names() == ("hash", "product")
-        assert CONDITION_CACHES.names() == ("memo", "off")
+        assert CONDITION_CACHES.names() == ("auto", "memo", "off")
         assert MATCHERS.names() == ("vm", "naive")
         assert SEARCH_MODES.names() == ("trie", "per-rule")
+        assert SHAPE_ANALYSES.names() == ("on", "off")
         assert ILP_BACKENDS.names() == ("scipy", "bnb")
 
     def test_config_choice_tuples_are_registry_snapshots(self):
@@ -98,6 +100,7 @@ class TestBuiltinEntries:
         assert config_module.CONDITION_CACHE_CHOICES == CONDITION_CACHES.names()
         assert config_module.CYCLE_FILTER_CHOICES == CYCLE_FILTERS.names()
         assert config_module.EXTRACTION_CHOICES == EXTRACTORS.names()
+        assert config_module.SHAPE_ANALYSIS_CHOICES == SHAPE_ANALYSES.names()
 
     def test_config_validation_error_lists_choices(self):
         with pytest.raises(ValueError, match="available"):
@@ -118,6 +121,7 @@ class TestBuiltinEntries:
         assert tuple(actions["scheduler"].choices) == SCHEDULERS.names()
         assert tuple(actions["multipattern_join"].choices) == MULTIPATTERN_JOINS.names()
         assert tuple(actions["condition_cache"].choices) == CONDITION_CACHES.names()
+        assert tuple(actions["shape_analysis"].choices) == SHAPE_ANALYSES.names()
         assert tuple(actions["extraction"].choices) == EXTRACTORS.names()
         assert tuple(actions["cycle_filter"].choices) == CYCLE_FILTERS.names()
 

@@ -36,6 +36,7 @@ from repro.core.registry import (  # noqa: E402
     MULTIPATTERN_JOINS,
     SCHEDULERS,
     SEARCH_MODES,
+    SHAPE_ANALYSES,
 )
 from repro.models import MODEL_NAMES  # noqa: E402
 
@@ -46,6 +47,7 @@ CLI_REGISTRY_KNOBS = {
     "scheduler": SCHEDULERS,
     "multipattern_join": MULTIPATTERN_JOINS,
     "condition_cache": CONDITION_CACHES,
+    "shape_analysis": SHAPE_ANALYSES,
     "extraction": EXTRACTORS,
     "cycle_filter": CYCLE_FILTERS,
 }
@@ -59,6 +61,7 @@ CONFIG_SNAPSHOTS = {
     "CONDITION_CACHE_CHOICES": CONDITION_CACHES,
     "CYCLE_FILTER_CHOICES": CYCLE_FILTERS,
     "EXTRACTION_CHOICES": EXTRACTORS,
+    "SHAPE_ANALYSIS_CHOICES": SHAPE_ANALYSES,
 }
 
 
