@@ -40,7 +40,7 @@ The package is organised as:
 """
 
 from repro.core.batch import ComparisonResult, compare, optimize_many
-from repro.core.config import TensatConfig
+from repro.core.config import ConfigError, TensatConfig
 from repro.core.events import OptimizationObserver, PhaseTimingObserver, RecordingObserver
 from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
 from repro.core.registry import (
@@ -51,6 +51,7 @@ from repro.core.registry import (
     MULTIPATTERN_JOINS,
     Registry,
     SCHEDULERS,
+    SEARCH_EXECUTORS,
     SEARCH_MODES,
 )
 from repro.core.session import OptimizationSession
@@ -65,6 +66,7 @@ __all__ = [
     "OptimizationSession",
     "TensatOptimizer",
     "TensatConfig",
+    "ConfigError",
     "OptimizationResult",
     "OptimizationStats",
     "optimize",
@@ -84,6 +86,7 @@ __all__ = [
     "MATCHERS",
     "MULTIPATTERN_JOINS",
     "SCHEDULERS",
+    "SEARCH_EXECUTORS",
     "SEARCH_MODES",
     # IR conveniences
     "GraphBuilder",

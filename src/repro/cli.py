@@ -24,6 +24,7 @@ from repro.core.registry import (
     MATCHERS,
     MULTIPATTERN_JOINS,
     SCHEDULERS,
+    SEARCH_EXECUTORS,
     SEARCH_MODES,
     SHAPE_ANALYSES,
 )
@@ -86,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="condition checking: compiled programs over precomputed per-e-class "
              "facts, or on-demand shape inference per candidate binding",
     )
+    opt.add_argument(
+        "--jobs", dest="search_jobs", type=int, default=_CONFIG_DEFAULTS.search_jobs,
+        help="parallel search shards per iteration (1 = the in-line sweep; "
+             ">1 requires the vm/trie search path)",
+    )
+    opt.add_argument(
+        "--search-executor", choices=SEARCH_EXECUTORS.names(),
+        default=_CONFIG_DEFAULTS.search_executor,
+        help="worker pool sweeping the shards when --jobs > 1: thread pool "
+             "over the shared e-graph, process pool over a pickled snapshot, "
+             "or serial (shards swept in-line)",
+    )
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
 
@@ -119,6 +132,8 @@ def _config_from_args(args) -> TensatConfig:
         multipattern_join=args.multipattern_join,
         condition_cache=args.condition_cache,
         shape_analysis=args.shape_analysis,
+        search_jobs=args.search_jobs,
+        search_executor=args.search_executor,
     )
 
 

@@ -8,7 +8,7 @@ registries (:mod:`repro.core.registry`), and the observer hooks
 """
 
 from repro.core.batch import ComparisonResult, compare, compile_shared_trie, optimize_many
-from repro.core.config import TensatConfig
+from repro.core.config import ConfigError, TensatConfig
 from repro.core.events import OptimizationObserver, PhaseTimingObserver, RecordingObserver
 from repro.core.optimizer import OptimizationResult, TensatOptimizer, optimize
 from repro.core.registry import (
@@ -19,6 +19,7 @@ from repro.core.registry import (
     MULTIPATTERN_JOINS,
     Registry,
     SCHEDULERS,
+    SEARCH_EXECUTORS,
     SEARCH_MODES,
 )
 from repro.core.session import OptimizationSession, materialize_extraction
@@ -26,6 +27,7 @@ from repro.core.stats import OptimizationStats
 
 __all__ = [
     "ComparisonResult",
+    "ConfigError",
     "CYCLE_FILTERS",
     "EXTRACTORS",
     "ILP_BACKENDS",
@@ -39,6 +41,7 @@ __all__ = [
     "RecordingObserver",
     "Registry",
     "SCHEDULERS",
+    "SEARCH_EXECUTORS",
     "SEARCH_MODES",
     "TensatConfig",
     "TensatOptimizer",

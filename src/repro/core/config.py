@@ -13,15 +13,19 @@ from repro.core.registry import (
     MATCHERS,
     MULTIPATTERN_JOINS,
     SCHEDULERS,
+    SEARCH_EXECUTORS,
     SEARCH_MODES,
     SHAPE_ANALYSES,
 )
+from repro.egraph.parallel import ConfigError
 
 __all__ = [
     "TensatConfig",
+    "ConfigError",
     "MATCHER_CHOICES",
     "SCHEDULER_CHOICES",
     "SEARCH_MODE_CHOICES",
+    "SEARCH_EXECUTOR_CHOICES",
     "MULTIPATTERN_JOIN_CHOICES",
     "CONDITION_CACHE_CHOICES",
     "CYCLE_FILTER_CHOICES",
@@ -41,6 +45,7 @@ CONDITION_CACHE_CHOICES = CONDITION_CACHES.names()
 CYCLE_FILTER_CHOICES = CYCLE_FILTERS.names()
 EXTRACTION_CHOICES = EXTRACTORS.names()
 SHAPE_ANALYSIS_CHOICES = SHAPE_ANALYSES.names()
+SEARCH_EXECUTOR_CHOICES = SEARCH_EXECUTORS.names()
 
 #: Knob name -> the registry its value must name an entry of.
 _KNOB_REGISTRIES = (
@@ -53,6 +58,7 @@ _KNOB_REGISTRIES = (
     ("shape_analysis", SHAPE_ANALYSES),
     ("cycle_filter", CYCLE_FILTERS),
     ("ilp_backend", ILP_BACKENDS),
+    ("search_executor", SEARCH_EXECUTORS),
 )
 
 
@@ -126,6 +132,17 @@ class TensatConfig:
     #: executable spec).  Bit-identical trajectories either way -- pinned by
     #: the golden tests; see docs/shape_analysis.md.
     shape_analysis: str = "on"
+    #: Number of parallel search shards per exploration iteration.  1 (the
+    #: default) sweeps the rule-trie buckets in-line; > 1 fans the buckets
+    #: out to ``search_executor`` workers and requires matcher="vm" with
+    #: search_mode="trie".  Bit-identical trajectories for every jobs count
+    #: and executor -- pinned by the golden tests; see docs/parallel.md.
+    search_jobs: int = 1
+    #: Which search executor sweeps the shards when ``search_jobs > 1``:
+    #: "thread" (shared frozen e-graph, no copying; overlaps only without a
+    #: GIL), "process" (pickled snapshot per iteration; escapes the GIL), or
+    #: "serial" (shards swept in-line -- the determinism fixture).
+    search_executor: str = "thread"
 
     # ------------------------------------------------------------------ #
     # Cycle handling
@@ -174,6 +191,14 @@ class TensatConfig:
             raise ValueError(
                 "with cycle_filter='none' the ILP needs cycle constraints "
                 "(set ilp_cycle_constraints=True) or extraction may return a cyclic graph"
+            )
+        if self.search_jobs < 1:
+            raise ConfigError(f"search_jobs must be >= 1, got {self.search_jobs}")
+        if self.search_jobs > 1 and not (self.matcher == "vm" and self.search_mode == "trie"):
+            raise ConfigError(
+                "search_jobs > 1 requires matcher='vm' with search_mode='trie' "
+                f"(got matcher={self.matcher!r}, search_mode={self.search_mode!r}): "
+                "only the rule trie's op buckets shard across workers"
             )
 
     def with_overrides(self, **kwargs) -> "TensatConfig":

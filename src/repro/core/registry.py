@@ -24,6 +24,9 @@ Factory signatures by registry:
 * ``CONDITION_CACHES``   -- ``factory() -> ConditionChecker`` ("auto" is a
   descriptor entry resolved by the runner before construction, see
   :func:`repro.egraph.checkcache.resolve_condition_cache`)
+* ``SEARCH_EXECUTORS``   -- ``factory(jobs: int) -> search executor`` (the
+  parallel shard sweeper consulted when ``search_jobs > 1``, see
+  :mod:`repro.egraph.parallel`)
 * ``MATCHERS`` / ``SEARCH_MODES`` / ``SHAPE_ANALYSES`` / ``ILP_BACKENDS`` --
   mode descriptors (the entry value is a description string); the
   implementations are structural dispatch inside
@@ -45,6 +48,11 @@ from repro.egraph.cycles import EfficientCycleFilter, NoCycleFilter, VanillaCycl
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.extraction.ilp import ILPExtractor
 from repro.egraph.multipattern import MultiPatternRewrite
+from repro.egraph.parallel import (
+    ProcessSearchExecutor,
+    SerialSearchExecutor,
+    ThreadSearchExecutor,
+)
 from repro.egraph.scheduler import BackoffScheduler, SimpleScheduler
 
 __all__ = [
@@ -56,6 +64,7 @@ __all__ = [
     "MATCHERS",
     "MULTIPATTERN_JOINS",
     "SCHEDULERS",
+    "SEARCH_EXECUTORS",
     "SEARCH_MODES",
     "SHAPE_ANALYSES",
 ]
@@ -211,6 +220,20 @@ CONDITION_CACHES.register("off", DirectConditionChecker)
 MATCHERS = Registry("matcher")
 MATCHERS.register("vm", "compiled e-matching virtual machine (docs/ematching.md)")
 MATCHERS.register("naive", "interpretive reference matcher (the executable spec)")
+
+#: Parallel search executors (``docs/parallel.md``).  Factories
+#: ``(jobs: int) -> executor``; the executor sweeps shards of trie op buckets
+#: (``run(matcher, egraph, op_candidates)``) and exposes ``prepare`` /
+#: ``close`` / per-shard timings.  Only consulted when ``search_jobs > 1``
+#: (at 1 job the runner sweeps in-line with no executor in the way):
+#: "thread" shares the frozen e-graph across a thread pool, "process" ships a
+#: pickled snapshot to a fork-spawned process pool, "serial" runs the shards
+#: in-line (the determinism fixture).  Every executor produces bit-identical
+#: match lists (pinned by the golden parity tests).
+SEARCH_EXECUTORS = Registry("search executor")
+SEARCH_EXECUTORS.register("thread", lambda jobs: ThreadSearchExecutor(jobs))
+SEARCH_EXECUTORS.register("process", lambda jobs: ProcessSearchExecutor(jobs))
+SEARCH_EXECUTORS.register("serial", lambda jobs: SerialSearchExecutor(jobs))
 
 #: VM search organisations (mode descriptors; dispatch lives in the runner).
 SEARCH_MODES = Registry("search mode")

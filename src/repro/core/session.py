@@ -106,6 +106,8 @@ def runner_limits_from_config(config: TensatConfig) -> RunnerLimits:
         use_delta=config.delta_matching,
         multipattern_join=config.multipattern_join,
         condition_cache=config.condition_cache,
+        search_jobs=config.search_jobs,
+        search_executor=config.search_executor,
     )
 
 

@@ -38,6 +38,10 @@ class OptimizationStats:
     #: check counts as a miss, so hits + misses is the total check count.
     condition_cache_hits: int = 0
     condition_cache_misses: int = 0
+    #: Per-worker totals of the sharded search phase (``search_jobs > 1``):
+    #: one dict per shard with buckets / candidates swept and busy seconds.
+    #: Empty when search ran unsharded.
+    search_shards: List[Dict[str, object]] = field(default_factory=list)
 
     exploration_iterations: int = 0
     stop_reason: str = ""
@@ -70,6 +74,7 @@ class OptimizationStats:
             condition_seconds=report.condition_seconds,
             condition_cache_hits=report.condition_cache_hits,
             condition_cache_misses=report.condition_cache_misses,
+            search_shards=list(report.search_shards),
             exploration_iterations=report.num_iterations,
             stop_reason=report.stop_reason.value,
             num_enodes=report.n_enodes,
@@ -89,6 +94,7 @@ class OptimizationStats:
             "condition_seconds": round(self.condition_seconds, 4),
             "condition_cache_hits": self.condition_cache_hits,
             "condition_cache_misses": self.condition_cache_misses,
+            "search_shards": self.search_shards,
             "extraction_seconds": round(self.extraction_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
             "iterations": self.exploration_iterations,

@@ -65,7 +65,7 @@ single-pattern ones.
 from __future__ import annotations
 
 import weakref
-from collections import deque
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -83,6 +83,7 @@ __all__ = [
     "match_sort_key",
     "RuleTrie",
     "build_rule_trie",
+    "sweep_trie_buckets",
     "TrieMatcher",
 ]
 
@@ -571,6 +572,27 @@ def trie_search_classes(
         _run_trie_class(egraph, bucket, root, emit)
 
 
+def sweep_trie_buckets(
+    egraph, trie: RuleTrie, work: Sequence[Tuple[str, Sequence[int]]]
+) -> Dict[int, list]:
+    """Sweep the given ``(op, candidates)`` bucket assignments of ``trie``.
+
+    This is the shard unit of parallel search (:mod:`repro.egraph.parallel`):
+    each rule lives in exactly one bucket and deduplication in
+    :func:`trie_search_classes` is local to one (bucket, root class) sweep, so
+    any partition of the buckets across workers yields the same per-rule match
+    multiset as one serial sweep.  ``egraph`` may be a live :class:`EGraph` or
+    a read-only :class:`repro.egraph.parallel.EGraphSnapshot` -- only ``find``,
+    class node lists, and hash-cons ``lookup`` are touched, and nothing is
+    mutated.  Returns ``rule_id -> unsorted match list`` with only the rule
+    ids that produced matches.
+    """
+    out: Dict[int, list] = defaultdict(list)
+    for op, candidates in work:
+        trie_search_classes(egraph, trie.buckets[op], candidates, out)
+    return dict(out)
+
+
 class TrieMatcher:
     """Incremental matcher for many patterns at once (one trie per root op).
 
@@ -601,6 +623,44 @@ class TrieMatcher:
         self._egraph_ref = None
         self._cache = None
 
+    def fork(self) -> "TrieMatcher":
+        """A matcher sharing this one's compiled trie but with fresh cache state.
+
+        The patterns and trie are immutable after construction, so they are
+        shared by reference; the per-e-graph incremental cache is private to
+        each fork.  This is how ``optimize_many`` runs concurrent sessions
+        under one compiled trie without their delta caches corrupting each
+        other.
+        """
+        clone = TrieMatcher.__new__(TrieMatcher)
+        clone.patterns = self.patterns
+        clone.trie = self.trie
+        clone._egraph_ref = None
+        clone._cache = None
+        return clone
+
+    def _sweep(
+        self,
+        egraph: EGraph,
+        op_candidates: Dict[str, List[int]],
+        executor,
+    ) -> Dict[int, list]:
+        """Sweep the op buckets over their candidate lists, sharded or not.
+
+        With ``executor=None`` this is the original serial bucket loop.  With
+        an executor, shards come back as per-shard ``rule_id -> matches``
+        dicts and are concatenated; every consumer below either sorts the
+        final per-rule list (full path) or merges through a key-sorted dict
+        (delta path), so concatenation order cannot affect results.
+        """
+        if executor is None:
+            return sweep_trie_buckets(egraph, self.trie, list(op_candidates.items()))
+        merged: Dict[int, list] = {}
+        for partial in executor.run(self, egraph, op_candidates):
+            for rule_id, matches in partial.items():
+                merged.setdefault(rule_id, []).extend(matches)
+        return merged
+
     def _var_rule_matches(self, egraph: EGraph, name: str) -> list:
         from repro.egraph.ematch import Match
 
@@ -613,6 +673,7 @@ class TrieMatcher:
         egraph: EGraph,
         delta: Optional[Set[int]] = None,
         skip: Iterable[int] = (),
+        executor=None,
     ) -> List[list]:
         """One match list per pattern index; ``skip`` suppresses maintenance.
 
@@ -624,6 +685,11 @@ class TrieMatcher:
         undo but not free: a previously skipped index that is searched again
         has no trustworthy cache, so the next call falls back to a full
         search for every pattern.
+
+        ``executor`` (a :mod:`repro.egraph.parallel` search executor, or
+        ``None`` for the in-line sweep) only changes *where* bucket sweeps
+        run; candidate selection, cache merging, and the deterministic
+        per-rule sort all stay here on the driver.
         """
         if self._egraph_ref is None or self._egraph_ref() is not egraph:
             self._cache = None
@@ -639,10 +705,11 @@ class TrieMatcher:
             self._cache = None
 
         if delta is None or self._cache is None:
-            per_rule: Dict[int, list] = {i: [] for i in range(n)}
-            for op, bucket in self.trie.buckets.items():
-                candidates = sorted(egraph.classes_with_op(op))
-                trie_search_classes(egraph, bucket, candidates, per_rule)
+            op_candidates = {
+                op: sorted(egraph.classes_with_op(op)) for op in self.trie.buckets
+            }
+            swept = self._sweep(egraph, op_candidates, executor)
+            per_rule: Dict[int, list] = {i: swept.get(i, []) for i in range(n)}
             for i in range(n):
                 if i not in skipped:
                     per_rule[i].sort(key=match_sort_key)
@@ -654,16 +721,21 @@ class TrieMatcher:
             ]
             return [[] if m is None else list(m) for m in self._cache]
 
-        # Delta path: one closure walk per distinct bucket depth.
-        fresh: Dict[int, list] = {i: [] for i in range(n)}
+        # Delta path: one closure walk per distinct bucket depth.  Closures
+        # need the live e-graph's parent lists, so they are always computed
+        # here on the driver; workers only ever see explicit candidate lists,
+        # which is why delta search shards exactly like full search.
         closures: Dict[int, Set[int]] = {}
+        op_candidates = {}
         for op, bucket in self.trie.buckets.items():
             closure = closures.get(bucket.depth)
             if closure is None:
                 closure = closures[bucket.depth] = delta_closure(egraph, delta, bucket.depth)
             candidates = sorted(c for c in egraph.classes_with_op(op) if c in closure)
             if candidates:
-                trie_search_classes(egraph, bucket, candidates, fresh)
+                op_candidates[op] = candidates
+        swept = self._sweep(egraph, op_candidates, executor)
+        fresh: Dict[int, list] = {i: swept.get(i, []) for i in range(n)}
 
         results: List[Optional[list]] = []
         for i in range(n):

@@ -1,0 +1,442 @@
+"""Parallel sharded search: fan the trie bucket sweep out across workers.
+
+The saturation pipeline freezes the e-graph for the whole search phase (PR 2)
+and the shared-prefix rule trie is bucketed by root operator
+(:mod:`repro.egraph.machine`), so per-op-bucket search is embarrassingly
+parallel: no bucket reads another bucket's output, every rule lives in
+exactly one bucket, and each rule's final match list is *sorted* with
+:func:`~repro.egraph.machine.match_sort_key` before anyone consumes it.
+Sharding therefore cannot change results -- any partition of the buckets
+produces the same per-rule match multiset, and the deterministic sort
+normalises arrival order (the determinism argument in ``docs/parallel.md``).
+
+This module provides the three pieces the runner composes:
+
+* :func:`plan_shards` -- cost-weighted assignment of op buckets to ``jobs``
+  workers (greedy longest-processing-time over per-bucket candidate counts).
+* :class:`EGraphSnapshot` -- a picklable read-only view of a frozen e-graph,
+  exactly the surface the trie sweep touches (``find`` / node lists /
+  hash-cons ``lookup``), shipped to process workers each iteration.
+* The executors -- :class:`SerialSearchExecutor` (run shards inline, the
+  determinism fixture), :class:`ThreadSearchExecutor` (shared e-graph, no
+  snapshot; bounded by the GIL on CPython but free on GIL-less builds), and
+  :class:`ProcessSearchExecutor` (true multi-core: workers rebuild the trie
+  from the pickled patterns once, then receive a snapshot per iteration) --
+  all behind the :data:`repro.core.registry.SEARCH_EXECUTORS` registry and
+  the ``search_jobs`` / ``search_executor`` config knobs.
+
+Trade-offs (see ``docs/parallel.md``): threads pay nothing to ship state but
+only overlap on interpreters without a GIL; processes pay one snapshot
+pickle/unpickle per worker per iteration and win once bucket sweep time
+dominates that; serial pays nothing and wins on one core.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.egraph.language import ENode
+
+__all__ = [
+    "ConfigError",
+    "EGraphSnapshot",
+    "ProcessSearchExecutor",
+    "SerialSearchExecutor",
+    "ShardStats",
+    "ThreadSearchExecutor",
+    "ensure_picklable",
+    "plan_shards",
+]
+
+
+class ConfigError(ValueError):
+    """A configuration combination that cannot run as requested.
+
+    Raised instead of letting the underlying failure (a deep pickle
+    traceback, a silently-serial pool) surface later: the message names the
+    offending knob or component and what to change.
+    """
+
+
+def ensure_picklable(components: Mapping[str, object], context: str) -> None:
+    """Raise :class:`ConfigError` naming the first unpicklable component.
+
+    Process-based execution ships state across process boundaries with
+    pickle; a user-registered component holding a lambda or an open handle
+    would otherwise die with a traceback deep inside the pool machinery,
+    far from the configuration that caused it.
+    """
+    for name, value in components.items():
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            raise ConfigError(
+                f"{context} requires picklable components, but {name} "
+                f"({type(value).__name__}) is not picklable: {exc}"
+            ) from exc
+
+
+# --------------------------------------------------------------------- #
+# Shard planning
+# --------------------------------------------------------------------- #
+
+
+def plan_shards(weights: Mapping[str, float], n_shards: int) -> List[List[str]]:
+    """Partition bucket keys into ``n_shards`` load-balanced groups.
+
+    Greedy longest-processing-time assignment: keys are taken heaviest first
+    (ties broken by key, so the plan is deterministic) and each lands on the
+    currently lightest shard (ties broken by shard index).  Every key appears
+    in exactly one shard -- no drops, no duplicates -- which is all
+    correctness needs; the balance is a 4/3-approximation, plenty for bucket
+    weights that are only an estimate anyway.
+
+    The runner weights each bucket by its candidate count
+    (``len(classes_with_op(op))`` scaled by the bucket's instruction count),
+    but the planner is policy-free: any non-negative weights work.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    shards: List[List[str]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for key in sorted(weights, key=lambda k: (-weights[k], k)):
+        lightest = min(range(n_shards), key=lambda i: (loads[i], i))
+        shards[lightest].append(key)
+        loads[lightest] += weights[key]
+    return shards
+
+
+@dataclass
+class ShardStats:
+    """One shard's share of a search phase: size and wall time."""
+
+    shard: int
+    n_buckets: int
+    n_candidates: int
+    seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "buckets": self.n_buckets,
+            "candidates": self.n_candidates,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+# --------------------------------------------------------------------- #
+# Picklable frozen e-graph view (process executor)
+# --------------------------------------------------------------------- #
+
+
+class _SnapshotClass:
+    """The slice of an e-class the bucket sweep reads: its node list."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: List[ENode]) -> None:
+        self.nodes = nodes
+
+    def __getstate__(self):
+        return self.nodes
+
+    def __setstate__(self, nodes) -> None:
+        self.nodes = nodes
+
+
+class EGraphSnapshot:
+    """A read-only, picklable view of an e-graph frozen for search.
+
+    Captures exactly what :func:`repro.egraph.machine.trie_search_classes`
+    touches -- the canonical-id mapping, each class's node list, and the
+    hash-cons memo for ground-term lookups -- and none of what it does not:
+    no analysis data (condition checks run on the driver), no parent lists
+    (delta closures are computed on the driver, which has the live graph),
+    no union-find internals.  That keeps the per-iteration pickle payload
+    minimal and makes process search independent of whether user-registered
+    analyses are picklable.
+    """
+
+    __slots__ = ("_finds", "_classes", "_memo", "_clean")
+
+    def __init__(
+        self,
+        finds: List[int],
+        classes: Dict[int, _SnapshotClass],
+        memo: Dict[ENode, int],
+        clean: bool,
+    ) -> None:
+        self._finds = finds
+        self._classes = classes
+        self._memo = memo
+        self._clean = clean
+
+    @classmethod
+    def freeze(cls, egraph) -> "EGraphSnapshot":
+        """Snapshot ``egraph`` as it stands (the search phase never mutates it)."""
+        finds = [egraph.find(i) for i in range(len(egraph._uf))]
+        classes = {c.id: _SnapshotClass(c.nodes) for c in egraph.classes()}
+        return cls(finds, classes, dict(egraph._memo), egraph.is_clean())
+
+    # -- the read-only EGraph surface the trie sweep uses ---------------- #
+
+    def find(self, eclass_id: int) -> int:
+        return self._finds[eclass_id]
+
+    def __getitem__(self, eclass_id: int) -> _SnapshotClass:
+        return self._classes[self._finds[eclass_id]]
+
+    def lookup(self, enode: ENode) -> Optional[int]:
+        finds = self._finds
+        if enode.children:
+            enode = ENode(enode.op, tuple(finds[c] for c in enode.children))
+        found = self._memo.get(enode)
+        return None if found is None else finds[found]
+
+    def is_clean(self) -> bool:
+        return self._clean
+
+    def __getstate__(self):
+        return (self._finds, self._classes, self._memo, self._clean)
+
+    def __setstate__(self, state) -> None:
+        self._finds, self._classes, self._memo, self._clean = state
+
+
+# --------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------- #
+
+#: One shard's work order: ``(op, sorted candidate e-class ids)`` pairs.
+ShardWork = List[Tuple[str, List[int]]]
+
+
+def _sweep_shard(egraph, trie, work: ShardWork) -> Dict[int, list]:
+    """Sweep one shard's buckets; the unit of work every executor runs."""
+    from repro.egraph.machine import sweep_trie_buckets
+
+    return sweep_trie_buckets(egraph, trie, work)
+
+
+class _SearchExecutorBase:
+    """Shared shape of the search executors.
+
+    ``run(matcher, egraph, op_candidates)`` plans the shards, sweeps them,
+    and returns the per-shard partial results as ``rule_id -> match list``
+    dicts, in shard order.  Per-shard wall times land in :attr:`last_shards`
+    for the stats spine.  Executors hold pool resources; :meth:`close` is
+    idempotent and the runner calls it as soon as exploration stops.
+    """
+
+    kind = "base"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("search executor needs jobs >= 1")
+        self.jobs = jobs
+        self.last_shards: List[ShardStats] = []
+
+    def prepare(self, patterns: Sequence[object]) -> None:
+        """Preflight hook; process executors validate picklability here."""
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- shared planning ------------------------------------------------- #
+
+    def _plan(self, matcher, op_candidates: Mapping[str, List[int]]) -> List[ShardWork]:
+        buckets = matcher.trie.buckets
+        weights = {
+            op: len(cands) * max(1, buckets[op].n_insts)
+            for op, cands in op_candidates.items()
+        }
+        plan = plan_shards(weights, self.jobs)
+        return [[(op, op_candidates[op]) for op in shard_ops] for shard_ops in plan]
+
+    def _record(self, shards: List[ShardWork], seconds: List[float]) -> None:
+        self.last_shards = [
+            ShardStats(
+                shard=i,
+                n_buckets=len(work),
+                n_candidates=sum(len(c) for _, c in work),
+                seconds=seconds[i],
+            )
+            for i, work in enumerate(shards)
+        ]
+
+
+class SerialSearchExecutor(_SearchExecutorBase):
+    """Run the shards one after another on the caller's thread.
+
+    Nothing overlaps, so this is pure overhead relative to the unsharded
+    sweep -- it exists as the determinism fixture (sharding with no pool in
+    the way) and as the explicit "don't parallelise" choice.
+    """
+
+    kind = "serial"
+
+    def run(self, matcher, egraph, op_candidates: Mapping[str, List[int]]) -> List[Dict[int, list]]:
+        shards = self._plan(matcher, op_candidates)
+        results: List[Dict[int, list]] = []
+        seconds: List[float] = []
+        for work in shards:
+            t0 = time.perf_counter()
+            results.append(_sweep_shard(egraph, matcher.trie, work))
+            seconds.append(time.perf_counter() - t0)
+        self._record(shards, seconds)
+        return results
+
+
+class ThreadSearchExecutor(_SearchExecutorBase):
+    """Sweep shards on a thread pool over the live (frozen) e-graph.
+
+    Workers share the e-graph directly -- no snapshot, no pickling.  The
+    only writes a sweep performs are union-find path compressions, which
+    are idempotent single-element list stores (safe under the GIL and
+    commutative: every interleaving writes the same root).  On CPython with
+    a GIL the sweeps serialise, so expect parity with serial rather than
+    speedup; on free-threaded builds the same executor scales with cores.
+    """
+
+    kind = "thread"
+
+    def __init__(self, jobs: int) -> None:
+        super().__init__(jobs)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-search"
+            )
+        return self._pool
+
+    def run(self, matcher, egraph, op_candidates: Mapping[str, List[int]]) -> List[Dict[int, list]]:
+        shards = self._plan(matcher, op_candidates)
+        pool = self._ensure_pool()
+
+        def task(work: ShardWork):
+            t0 = time.perf_counter()
+            result = _sweep_shard(egraph, matcher.trie, work)
+            return result, time.perf_counter() - t0
+
+        futures = [pool.submit(task, work) for work in shards]
+        results, seconds = [], []
+        for future in futures:  # future order == shard order (deterministic)
+            result, dt = future.result()
+            results.append(result)
+            seconds.append(dt)
+        self._record(shards, seconds)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- process executor worker side (module-level: must be importable) ---- #
+
+_WORKER_TRIE = None
+_WORKER_SNAPSHOT: Tuple[Optional[int], Optional[EGraphSnapshot]] = (None, None)
+
+
+def _process_worker_init(patterns_payload: bytes) -> None:
+    """Rebuild the shared rule trie once per worker process.
+
+    Compilation is deterministic (see :func:`repro.egraph.machine.
+    build_rule_trie`), so the worker's trie is structurally identical to the
+    driver's: same buckets, same rule ids, same yield order.
+    """
+    global _WORKER_TRIE
+    from repro.egraph.machine import build_rule_trie
+
+    _WORKER_TRIE = build_rule_trie(pickle.loads(patterns_payload))
+
+
+def _process_worker_sweep(token: int, snapshot_payload: bytes, work: ShardWork):
+    """Sweep one shard against the iteration's snapshot (cached per token)."""
+    global _WORKER_SNAPSHOT
+    if _WORKER_SNAPSHOT[0] != token:
+        _WORKER_SNAPSHOT = (token, pickle.loads(snapshot_payload))
+    t0 = time.perf_counter()
+    result = _sweep_shard(_WORKER_SNAPSHOT[1], _WORKER_TRIE, work)
+    return result, time.perf_counter() - t0
+
+
+class ProcessSearchExecutor(_SearchExecutorBase):
+    """Sweep shards on a process pool over a pickled frozen snapshot.
+
+    The worker pool is built lazily from a ``fork`` context (workers inherit
+    module state, so user-registered components resolve) with the compiled
+    patterns shipped once through the initializer; each :meth:`run` pickles
+    one :class:`EGraphSnapshot` and sends it alongside every shard (workers
+    cache the decoded snapshot per iteration token, so a worker that gets
+    two shards decodes once).  This is the only executor that escapes the
+    GIL on stock CPython; it earns its keep once per-iteration sweep time
+    dominates the snapshot round-trip.
+    """
+
+    kind = "process"
+
+    def __init__(self, jobs: int) -> None:
+        super().__init__(jobs)
+        self._pool = None
+        self._patterns_payload: Optional[bytes] = None
+        self._token = 0
+
+    def prepare(self, patterns: Sequence[object]) -> None:
+        """Validate and stage the pattern payload (raises ConfigError early)."""
+        ensure_picklable(
+            {"the compiled search patterns": list(patterns)},
+            "search_executor='process'",
+        )
+        self._patterns_payload = pickle.dumps(list(patterns))
+
+    def _ensure_pool(self, matcher):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            if self._patterns_payload is None:
+                self.prepare(matcher.patterns)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_process_worker_init,
+                initargs=(self._patterns_payload,),
+            )
+        return self._pool
+
+    def run(self, matcher, egraph, op_candidates: Mapping[str, List[int]]) -> List[Dict[int, list]]:
+        shards = self._plan(matcher, op_candidates)
+        pool = self._ensure_pool(matcher)
+        self._token += 1
+        snapshot_payload = pickle.dumps(EGraphSnapshot.freeze(egraph))
+        futures = [
+            pool.submit(_process_worker_sweep, self._token, snapshot_payload, work)
+            for work in shards
+        ]
+        results, seconds = [], []
+        for future in futures:  # future order == shard order (deterministic)
+            result, dt = future.result()
+            results.append(result)
+            seconds.append(dt)
+        self._record(shards, seconds)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -60,6 +60,7 @@ from repro.egraph.egraph import EGraph
 from repro.egraph.ematch import naive_search_pattern
 from repro.egraph.machine import IncrementalMatcher, TrieMatcher
 from repro.egraph.multipattern import MultiPatternRewrite, MultiPatternSearcher
+from repro.egraph.parallel import ConfigError, ensure_picklable
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.scheduler import Scheduler, make_scheduler
 
@@ -119,6 +120,10 @@ class IterationReport:
     full_search: bool = True
     #: Size of the previous iteration's delta (-1 for a full search).
     n_delta_classes: int = -1
+    #: Per-shard search accounting when ``search_jobs > 1`` (one dict per
+    #: shard: index, bucket count, candidate count, in-worker wall seconds);
+    #: empty for the unsharded in-line sweep.
+    search_shards: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass
@@ -138,6 +143,9 @@ class RunnerReport:
     condition_seconds: float = 0.0
     condition_cache_hits: int = 0
     condition_cache_misses: int = 0
+    #: Per-shard totals across all iterations (empty when search ran
+    #: unsharded): shard index, buckets swept, candidates swept, busy seconds.
+    search_shards: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def num_iterations(self) -> int:
@@ -158,6 +166,7 @@ class RunnerReport:
             "enodes": self.n_enodes,
             "eclasses": self.n_eclasses,
             "filtered_nodes": self.n_filtered,
+            "search_shards": self.search_shards,
         }
 
 
@@ -209,6 +218,17 @@ class RunnerLimits:
     #: fraction of all e-classes (a large union cascade touched everything, so
     #: the closure walk would cost more than it saves).
     delta_full_fraction: float = 0.5
+    #: Number of parallel search shards.  1 (the default) sweeps the trie
+    #: buckets in-line with no executor in the way; > 1 requires
+    #: ``matcher="vm"`` + ``search_mode="trie"`` (the only path whose search
+    #: unit -- the op bucket -- shards) and produces bit-identical match
+    #: lists for every jobs count and executor (``docs/parallel.md``).
+    search_jobs: int = 1
+    #: Which :data:`~repro.core.registry.SEARCH_EXECUTORS` entry sweeps the
+    #: shards when ``search_jobs > 1``: "thread" (shared frozen e-graph),
+    #: "process" (pickled snapshot per iteration, escapes the GIL), or
+    #: "serial" (in-line, the determinism fixture).
+    search_executor: str = "thread"
 
 
 def make_cycle_filter(kind: str) -> CycleFilter:
@@ -288,6 +308,7 @@ class Runner:
             CONDITION_CACHES,
             MATCHERS,
             MULTIPATTERN_JOINS,
+            SEARCH_EXECUTORS,
             SEARCH_MODES,
         )
 
@@ -332,6 +353,40 @@ class Runner:
                     self._trie_matcher = trie_matcher if trie_matcher is not None else TrieMatcher(patterns)
             else:
                 self._matchers = [IncrementalMatcher(rw.lhs) for rw in self.rewrites]
+        # Parallel search: build the shard executor eagerly so configuration
+        # problems (unknown executor, unshardable search path, unpicklable
+        # user-registered components under process mode) surface here as
+        # ConfigError, not mid-run from inside a worker pool.
+        self._search_executor = None
+        if self.limits.search_jobs != 1:
+            SEARCH_EXECUTORS.check(self.limits.search_executor)
+            if self.limits.search_jobs < 1:
+                raise ConfigError(f"search_jobs must be >= 1, got {self.limits.search_jobs}")
+            if self._trie_matcher is None:
+                raise ConfigError(
+                    "search_jobs > 1 requires matcher='vm' with search_mode='trie' "
+                    f"(got matcher={self.limits.matcher!r}, "
+                    f"search_mode={self.limits.search_mode!r}): only the trie's "
+                    "op buckets shard across workers"
+                )
+            self._search_executor = SEARCH_EXECUTORS.create(
+                self.limits.search_executor, jobs=self.limits.search_jobs
+            )
+            if self._search_executor.kind == "process":
+                # The patterns cross the process boundary; the other pluggable
+                # components stay on the driver but are preflighted too so a
+                # custom scheduler/condition/filter that cannot pickle fails
+                # with a named ConfigError instead of surprising a later
+                # snapshot or fan-out path.
+                ensure_picklable(
+                    {
+                        "the rule scheduler": self.scheduler,
+                        "the condition checker": self.condition_checker,
+                        "the cycle filter": self.cycle_filter,
+                    },
+                    "search_executor='process'",
+                )
+            self._search_executor.prepare(self._trie_matcher.patterns)
         # E-classes dirtied by the previous iteration; None forces a full
         # search (iteration 0, naive matcher, or delta matching disabled).
         self._delta: Optional[Set[int]] = None
@@ -378,6 +433,7 @@ class Runner:
         step-at-a-time loop walks the exact trajectory of a one-shot run.
         """
         if self._stop is not None:
+            self._close_executor()
             return None
         t0 = time.perf_counter()
         if not self._started:
@@ -395,12 +451,15 @@ class Runner:
         iteration = len(self._reports)
         if iteration >= self.limits.iter_limit:
             self._stop = StopReason.ITERATION_LIMIT
+            self._close_executor()
             return None
         if self._elapsed > self.limits.time_limit:
             self._stop = StopReason.TIME_LIMIT
+            self._close_executor()
             return None
         if self.egraph.num_enodes > self.limits.node_limit:
             self._stop = StopReason.NODE_LIMIT
+            self._close_executor()
             return None
 
         report = self._run_iteration(iteration)
@@ -415,7 +474,25 @@ class Runner:
             self._stop = StopReason.TIME_LIMIT
         elif len(self._reports) >= self.limits.iter_limit:
             self._stop = StopReason.ITERATION_LIMIT
+        if self._stop is not None:
+            self._close_executor()
         return report
+
+    def _close_executor(self) -> None:
+        """Shut the shard worker pool down as soon as exploration stops.
+
+        Idempotent; also runs from ``__del__`` so an abandoned runner does
+        not leak pool threads/processes.  Extraction and everything after
+        the exploration phase is single-threaded and never needs the pool.
+        """
+        if self._search_executor is not None:
+            self._search_executor.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self._close_executor()
+        except Exception:
+            pass
 
     def run(self) -> RunnerReport:
         """Run the exploration loop until saturation or a limit is hit."""
@@ -431,6 +508,17 @@ class Runner:
                 "or inspect the in-progress state via Runner.iterations"
             )
         reports = self._reports
+        # Aggregate the per-iteration shard timings per shard index so the
+        # stats spine (--json, PhaseTimingObserver) sees one row per worker.
+        shard_totals: Dict[int, Dict[str, object]] = {}
+        for r in reports:
+            for shard in r.search_shards:
+                row = shard_totals.setdefault(
+                    shard["shard"], {"shard": shard["shard"], "buckets": 0, "candidates": 0, "seconds": 0.0}
+                )
+                row["buckets"] += shard["buckets"]
+                row["candidates"] += shard["candidates"]
+                row["seconds"] = round(row["seconds"] + shard["seconds"], 6)
         return RunnerReport(
             stop_reason=self._stop,
             iterations=list(reports),
@@ -445,6 +533,7 @@ class Runner:
             condition_seconds=sum(r.condition_seconds for r in reports),
             condition_cache_hits=sum(r.condition_cache_hits for r in reports),
             condition_cache_misses=sum(r.condition_cache_misses for r in reports),
+            search_shards=[shard_totals[i] for i in sorted(shard_totals)],
         )
 
     # ------------------------------------------------------------------ #
@@ -478,7 +567,13 @@ class Runner:
             # Once the k_multi window closes the multi-pattern trie slots are
             # never read again; skipping them drops their cache maintenance.
             skip = () if multi_active else range(self._n_single, self._n_single + len(self._multi_keys))
-            trie_results = self._trie_matcher.search_all(self.egraph, delta=delta, skip=skip)
+            trie_results = self._trie_matcher.search_all(
+                self.egraph, delta=delta, skip=skip, executor=self._search_executor
+            )
+            if self._search_executor is not None:
+                report.search_shards = [
+                    s.as_dict() for s in self._search_executor.last_shards
+                ]
 
         multi_matches = []
         if multi_active:

@@ -229,32 +229,50 @@ def targets_shape_valid(targets: Sequence[Pattern]) -> Condition:
     return TargetsShapeValid(targets)
 
 
-def var_is_int(var: str, value: Optional[int] = None) -> Condition:
-    """Condition: ``?var`` is an integer parameter (optionally equal to ``value``)."""
+class _VarIsInt:
+    """See :func:`var_is_int`.  A class (not a closure) so rules pickle."""
 
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        eclass = match.subst.get(var)
+    __slots__ = ("var", "value")
+
+    def __init__(self, var: str, value: Optional[int]) -> None:
+        self.var = var
+        self.value = value
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        eclass = match.subst.get(self.var)
         if eclass is None:
             return False
         data = egraph.analysis_data(eclass)
         if data is None or data.kind != DataKind.INT:
             return False
-        return value is None or int(data.value) == value
+        return self.value is None or int(data.value) == self.value
 
-    return condition
+
+def var_is_int(var: str, value: Optional[int] = None) -> Condition:
+    """Condition: ``?var`` is an integer parameter (optionally equal to ``value``)."""
+    return _VarIsInt(var, value)
+
+
+class _VarRankIs:
+    """See :func:`var_rank_is`.  A class (not a closure) so rules pickle."""
+
+    __slots__ = ("var", "rank")
+
+    def __init__(self, var: str, rank: int) -> None:
+        self.var = var
+        self.rank = rank
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        eclass = match.subst.get(self.var)
+        if eclass is None:
+            return False
+        data = egraph.analysis_data(eclass)
+        return data is not None and data.kind == DataKind.TENSOR and data.rank == self.rank
 
 
 def var_rank_is(var: str, rank: int) -> Condition:
     """Condition: ``?var`` is a tensor of the given rank."""
-
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        eclass = match.subst.get(var)
-        if eclass is None:
-            return False
-        data = egraph.analysis_data(eclass)
-        return data is not None and data.kind == DataKind.TENSOR and data.rank == rank
-
-    return condition
+    return _VarRankIs(var, rank)
 
 
 def _tensor_pair(egraph: EGraph, match: AnyMatch, var_a: str, var_b: str):
@@ -277,19 +295,30 @@ def _tensor_pair(egraph: EGraph, match: AnyMatch, var_a: str, var_b: str):
     return da, db
 
 
-def var_shape_axis_equal(var_a: str, var_b: str, axis: int) -> Condition:
-    """Condition: two tensor variables agree on the size of ``axis``."""
+class _VarShapeAxisEqual:
+    """See :func:`var_shape_axis_equal`.  A class so rules pickle."""
 
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        pair = _tensor_pair(egraph, match, var_a, var_b)
+    __slots__ = ("var_a", "var_b", "axis")
+
+    def __init__(self, var_a: str, var_b: str, axis: int) -> None:
+        self.var_a = var_a
+        self.var_b = var_b
+        self.axis = axis
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        pair = _tensor_pair(egraph, match, self.var_a, self.var_b)
         if pair is None:
             return False
         da, db = pair
+        axis = self.axis
         if da.rank <= axis or db.rank <= axis:
             return False
         return da.shape[axis] == db.shape[axis]
 
-    return condition
+
+def var_shape_axis_equal(var_a: str, var_b: str, axis: int) -> Condition:
+    """Condition: two tensor variables agree on the size of ``axis``."""
+    return _VarShapeAxisEqual(var_a, var_b, axis)
 
 
 def conv_not_grouped(input_var: str, weight_var: str) -> Condition:
@@ -298,17 +327,26 @@ def conv_not_grouped(input_var: str, weight_var: str) -> Condition:
     The concat-based conv merge rewrites are only sound for groups == 1
     (otherwise concatenating output channels re-partitions the groups).
     """
+    return _ConvNotGrouped(input_var, weight_var)
 
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        pair = _tensor_pair(egraph, match, input_var, weight_var)
+
+class _ConvNotGrouped:
+    """See :func:`conv_not_grouped`.  A class so rules pickle."""
+
+    __slots__ = ("input_var", "weight_var")
+
+    def __init__(self, input_var: str, weight_var: str) -> None:
+        self.input_var = input_var
+        self.weight_var = weight_var
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        pair = _tensor_pair(egraph, match, self.input_var, self.weight_var)
         if pair is None:
             return False
         x, w = pair
         if x.rank != 4 or w.rank != 4:
             return False
         return x.shape[1] == w.shape[1]
-
-    return condition
 
 
 def enlarge_compatible(small_var: str, large_var: str) -> Condition:
@@ -320,9 +358,20 @@ def enlarge_compatible(small_var: str, large_var: str) -> Condition:
     must be odd, and the size difference must be even so the original taps
     stay centered.
     """
+    return _EnlargeCompatible(small_var, large_var)
 
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        pair = _tensor_pair(egraph, match, small_var, large_var)
+
+class _EnlargeCompatible:
+    """See :func:`enlarge_compatible`.  A class so rules pickle."""
+
+    __slots__ = ("small_var", "large_var")
+
+    def __init__(self, small_var: str, large_var: str) -> None:
+        self.small_var = small_var
+        self.large_var = large_var
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        pair = _tensor_pair(egraph, match, self.small_var, self.large_var)
         if pair is None:
             return False
         small, large = pair
@@ -340,13 +389,19 @@ def enlarge_compatible(small_var: str, large_var: str) -> Condition:
             return False
         return (l_kh - s_kh) % 2 == 0 and (l_kw - s_kw) % 2 == 0
 
-    return condition
+
+class _AllOf:
+    """See :func:`all_of`.  A class (not a closure) so rules pickle."""
+
+    __slots__ = ("conditions",)
+
+    def __init__(self, conditions: "tuple") -> None:
+        self.conditions = conditions
+
+    def __call__(self, egraph: EGraph, match: AnyMatch) -> bool:
+        return all(c(egraph, match) for c in self.conditions)
 
 
 def all_of(*conditions: Condition) -> Condition:
     """Conjunction of several conditions."""
-
-    def condition(egraph: EGraph, match: AnyMatch) -> bool:
-        return all(c(egraph, match) for c in conditions)
-
-    return condition
+    return _AllOf(conditions)

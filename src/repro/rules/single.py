@@ -292,15 +292,14 @@ def single_pattern_rules() -> List[RuleDef]:
 
 
 def conv_not_grouped_fig10():
-    """Condition specialised for the Figure-10 rule: every conv involved is ungrouped."""
-    from repro.rules.conditions import conv_not_grouped
+    """Condition specialised for the Figure-10 rule: every conv involved is ungrouped.
 
-    def condition(egraph, match):
-        # The inner convs consume ?x with ?w1 / ?w3; the outer convs consume the
-        # inner outputs, whose channel counts equal the weights' output channels,
-        # with ?w2 / ?w4.  Checking the inner pair is enough to exclude grouped
-        # convolutions because the outer weights' input-channel counts must then
-        # line up exactly (enforced by the shape check).
-        return conv_not_grouped("x", "w1")(egraph, match) and conv_not_grouped("x", "w3")(egraph, match)
+    The inner convs consume ?x with ?w1 / ?w3; the outer convs consume the
+    inner outputs, whose channel counts equal the weights' output channels,
+    with ?w2 / ?w4.  Checking the inner pair is enough to exclude grouped
+    convolutions because the outer weights' input-channel counts must then
+    line up exactly (enforced by the shape check).
+    """
+    from repro.rules.conditions import all_of, conv_not_grouped
 
-    return condition
+    return all_of(conv_not_grouped("x", "w1"), conv_not_grouped("x", "w3"))

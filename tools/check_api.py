@@ -35,6 +35,7 @@ from repro.core.registry import (  # noqa: E402
     MATCHERS,
     MULTIPATTERN_JOINS,
     SCHEDULERS,
+    SEARCH_EXECUTORS,
     SEARCH_MODES,
     SHAPE_ANALYSES,
 )
@@ -44,6 +45,7 @@ from repro.models import MODEL_NAMES  # noqa: E402
 CLI_REGISTRY_KNOBS = {
     "matcher": MATCHERS,
     "search_mode": SEARCH_MODES,
+    "search_executor": SEARCH_EXECUTORS,
     "scheduler": SCHEDULERS,
     "multipattern_join": MULTIPATTERN_JOINS,
     "condition_cache": CONDITION_CACHES,
@@ -57,6 +59,7 @@ CONFIG_SNAPSHOTS = {
     "MATCHER_CHOICES": MATCHERS,
     "SCHEDULER_CHOICES": SCHEDULERS,
     "SEARCH_MODE_CHOICES": SEARCH_MODES,
+    "SEARCH_EXECUTOR_CHOICES": SEARCH_EXECUTORS,
     "MULTIPATTERN_JOIN_CHOICES": MULTIPATTERN_JOINS,
     "CONDITION_CACHE_CHOICES": CONDITION_CACHES,
     "CYCLE_FILTER_CHOICES": CYCLE_FILTERS,
