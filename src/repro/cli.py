@@ -57,6 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--iter-limit", type=int, default=8)
     opt.add_argument("--extraction", choices=EXTRACTORS.names(), default="ilp")
     opt.add_argument("--ilp-time-limit", type=float, default=60.0)
+    opt.add_argument(
+        "--extraction-deadline", type=float, default=_CONFIG_DEFAULTS.extraction_deadline,
+        help="total wall-clock budget in seconds for --extraction portfolio "
+             "(greedy -> BnB -> ILP anytime race)",
+    )
+    opt.add_argument(
+        "--no-extraction-prune", dest="extraction_prune", action="store_false",
+        help="disable dominated-node pruning / singleton collapse before the "
+             "exact extraction solvers (optimum-preserving when enabled)",
+    )
+    opt.add_argument(
+        "--no-ilp-warm-start", dest="ilp_warm_start", action="store_false",
+        help="solve the extraction ILP/BnB cold instead of seeding it from "
+             "the greedy solution",
+    )
     opt.add_argument("--cycle-filter", choices=CYCLE_FILTERS.names(), default="efficient")
     opt.add_argument(
         "--matcher", choices=MATCHERS.names(), default=_CONFIG_DEFAULTS.matcher,
@@ -124,6 +139,9 @@ def _config_from_args(args) -> TensatConfig:
         k_multi=args.k_multi,
         extraction=args.extraction,
         ilp_time_limit=args.ilp_time_limit,
+        extraction_deadline=args.extraction_deadline,
+        extraction_prune=args.extraction_prune,
+        ilp_warm_start=args.ilp_warm_start,
         cycle_filter=cycle_filter,
         ilp_cycle_constraints=(cycle_filter == "none"),
         matcher=args.matcher,

@@ -153,8 +153,17 @@ class TensatConfig:
     # ------------------------------------------------------------------ #
     # Extraction
     # ------------------------------------------------------------------ #
-    #: "ilp" or "greedy".
+    #: "ilp", "greedy", or "portfolio" (anytime greedy -> BnB -> ILP race
+    #: under ``extraction_deadline``; see docs/extraction.md).
     extraction: str = "ilp"
+    #: Prune dominated e-nodes and fix singleton e-classes before solving
+    #: (optimum-preserving; shrinks the ILP variable space).
+    extraction_prune: bool = True
+    #: Seed the exact solvers from the greedy solution (BnB incumbent /
+    #: objective cutoff for HiGHS).  Optimum-preserving.
+    ilp_warm_start: bool = True
+    #: Total wall-clock budget in seconds for extraction="portfolio".
+    extraction_deadline: float = 60.0
     #: Include the topological-order (cycle) constraints in the ILP.
     ilp_cycle_constraints: bool = False
     #: Use integer instead of real topological-order variables.
@@ -187,10 +196,18 @@ class TensatConfig:
             raise ValueError("node_limit and iter_limit must be positive")
         if self.k_multi < 0:
             raise ValueError("k_multi must be non-negative")
-        if self.cycle_filter == "none" and self.extraction == "ilp" and not self.ilp_cycle_constraints:
+        if (
+            self.cycle_filter == "none"
+            and self.extraction in ("ilp", "portfolio")
+            and not self.ilp_cycle_constraints
+        ):
             raise ValueError(
                 "with cycle_filter='none' the ILP needs cycle constraints "
                 "(set ilp_cycle_constraints=True) or extraction may return a cyclic graph"
+            )
+        if self.extraction_deadline <= 0:
+            raise ValueError(
+                f"extraction_deadline must be positive, got {self.extraction_deadline}"
             )
         if self.search_jobs < 1:
             raise ConfigError(f"search_jobs must be >= 1, got {self.search_jobs}")

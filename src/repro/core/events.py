@@ -17,6 +17,9 @@ Events, in emission order for one run:
   rules are never searched, so they emit nothing.
 * ``on_iteration_end(iteration, report)`` -- after the iteration's rebuild,
   with the fully populated :class:`~repro.egraph.runner.IterationReport`.
+* ``on_extraction(result)`` -- when extraction completes, with the
+  :class:`~repro.egraph.extraction.base.ExtractionResult` (carrying the
+  per-stage timing/cost breakdown and problem-reduction stats).
 * ``on_phase(phase, seconds)`` -- when a pipeline phase completes:
   ``"exploration"`` (once saturation stops), ``"extraction"``, and
   ``"materialization"``.
@@ -63,14 +66,18 @@ class OptimizationObserver:
     def on_match_batch(self, iteration: int, rule: str, n_matches: int, admitted: bool) -> None:
         """One rule's matches were searched (and scheduled) this iteration."""
 
+    def on_extraction(self, result) -> None:
+        """Extraction completed; ``result`` is its ExtractionResult."""
+
 
 class RecordingObserver(OptimizationObserver):
     """Records every event as a tuple, in order.  For tests and debugging.
 
     ``events`` holds ``("phase", name, seconds)``,
     ``("iteration_start", iteration)``,
-    ``("iteration_end", iteration, report)``, and
-    ``("match_batch", iteration, rule, n_matches, admitted)`` entries.
+    ``("iteration_end", iteration, report)``,
+    ``("match_batch", iteration, rule, n_matches, admitted)``, and
+    ``("extraction", result)`` entries.
     """
 
     def __init__(self) -> None:
@@ -87,6 +94,9 @@ class RecordingObserver(OptimizationObserver):
 
     def on_match_batch(self, iteration: int, rule: str, n_matches: int, admitted: bool) -> None:
         self.events.append(("match_batch", iteration, rule, n_matches, admitted))
+
+    def on_extraction(self, result) -> None:
+        self.events.append(("extraction", result))
 
     def of_kind(self, kind: str) -> List[Tuple]:
         """The recorded events of one kind, in order."""
@@ -105,7 +115,9 @@ class PhaseTimingObserver(OptimizationObserver):
     aggregate the condition-check cache traffic.  When search is sharded
     (``search_jobs > 1``), ``search_shard_seconds`` sums each worker's busy
     time and :attr:`parallel_search_utilisation` reports how evenly that
-    work spread across the pool.
+    work spread across the pool.  ``extraction_stage_seconds`` breaks the
+    extraction phase into its pipeline stages (prune / greedy / bnb / ilp)
+    and ``extraction_prune_ratio`` records the problem-reduction shrink.
     """
 
     def __init__(self) -> None:
@@ -122,6 +134,11 @@ class PhaseTimingObserver(OptimizationObserver):
         #: search ran unsharded).
         self.search_shard_seconds: Dict[int, float] = {}
         self.per_iteration: List[Dict[str, float]] = []
+        #: Extraction stage -> seconds, summed over extractions (empty until
+        #: an extraction completes).
+        self.extraction_stage_seconds: Dict[str, float] = {}
+        #: Variable-space shrink of the extraction problem-reduction pass.
+        self.extraction_prune_ratio = 1.0
 
     def on_phase(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
@@ -149,6 +166,17 @@ class PhaseTimingObserver(OptimizationObserver):
                 "condition_seconds": report.condition_seconds,
             }
         )
+
+    def on_extraction(self, result) -> None:
+        for name, secs in result.stages.items():
+            self.extraction_stage_seconds[name] = (
+                self.extraction_stage_seconds.get(name, 0.0) + secs
+            )
+        if result.reduction is not None:
+            before = result.reduction.get("nodes_before", 0)
+            after = result.reduction.get("nodes_after", 0)
+            if after > 0:
+                self.extraction_prune_ratio = before / after
 
     @property
     def total_seconds(self) -> float:

@@ -47,6 +47,7 @@ from repro.egraph.checkcache import DirectConditionChecker, MemoizedConditionChe
 from repro.egraph.cycles import EfficientCycleFilter, NoCycleFilter, VanillaCycleFilter
 from repro.egraph.extraction.greedy import GreedyExtractor
 from repro.egraph.extraction.ilp import ILPExtractor
+from repro.egraph.extraction.portfolio import PortfolioExtractor
 from repro.egraph.multipattern import MultiPatternRewrite
 from repro.egraph.parallel import (
     ProcessSearchExecutor,
@@ -180,12 +181,29 @@ def _make_ilp_extractor(node_cost, config, filter_list):
         backend=config.ilp_backend,
         fallback_to_greedy=config.ilp_fallback_to_greedy,
         mip_rel_gap=config.ilp_mip_gap,
+        reduce_problem=config.extraction_prune,
+        warm_start=config.ilp_warm_start,
     )
 
 
 @EXTRACTORS.register("greedy")
 def _make_greedy_extractor(node_cost, config, filter_list):
     return GreedyExtractor(node_cost, filter_list=filter_list)
+
+
+@EXTRACTORS.register("portfolio")
+def _make_portfolio_extractor(node_cost, config, filter_list):
+    return PortfolioExtractor(
+        node_cost,
+        deadline=config.extraction_deadline,
+        filter_list=filter_list,
+        with_cycle_constraints=config.ilp_cycle_constraints,
+        integer_topo=config.ilp_integer_topo,
+        mip_rel_gap=config.ilp_mip_gap,
+        reduce_problem=config.extraction_prune,
+        warm_start=config.ilp_warm_start,
+        ilp_time_limit=config.ilp_time_limit,
+    )
 
 
 #: Cycle-filtering strategies (paper Section 5.2).

@@ -216,6 +216,8 @@ class OptimizationSession:
         #: Completed pipeline phases -> seconds (mirrors the ``on_phase`` events).
         self.phase_seconds: Dict[str, float] = {}
         self._result: Optional[OptimizationResult] = None
+        #: The extractor built by :meth:`extract` (exposes ``last_solve_info``).
+        self._extractor = None
 
     # -- events --------------------------------------------------------- #
 
@@ -274,8 +276,10 @@ class OptimizationSession:
             config=self.config,
             filter_list=self.cycle_filter.filter_list,
         )
+        self._extractor = extractor
         self.extraction = extractor.extract(self.egraph, self.root)
         self.extraction_status = self.extraction.status
+        self._emit("on_extraction", self.extraction)
         self._end_phase("extraction", time.perf_counter() - t0)
         return self.extraction
 
@@ -340,6 +344,15 @@ class OptimizationSession:
         stats.original_cost = self.original_cost
         stats.optimized_cost = self.optimized_cost
         stats.extraction_status = self.extraction_status
+        if self.extraction is not None:
+            stats.extraction_stage_seconds = dict(self.extraction.stages)
+            reduction = self.extraction.reduction
+            if reduction and reduction.get("nodes_after", 0) > 0:
+                stats.extraction_prune_ratio = reduction["nodes_before"] / reduction["nodes_after"]
+        solve_info = getattr(self._extractor, "last_solve_info", None)
+        if solve_info is not None:
+            stats.ilp_num_variables = solve_info.num_variables
+            stats.ilp_num_constraints = solve_info.num_constraints
         self._result = OptimizationResult(
             original=self.graph,
             optimized=self.optimized,

@@ -55,6 +55,13 @@ class OptimizationStats:
     extraction_status: str = ""
     ilp_num_variables: int = 0
     ilp_num_constraints: int = 0
+    #: Extraction wall time split into pipeline stages (``"prune"`` /
+    #: ``"greedy"`` / ``"bnb"`` / ``"ilp"``); empty when the extractor
+    #: predates the stage accounting.
+    extraction_stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Variable-space shrink factor of the dominated-node pruning pass
+    #: (nodes before / nodes after; 1.0 when pruning was off or free).
+    extraction_prune_ratio: float = 1.0
 
     @property
     def speedup_percent(self) -> float:
@@ -107,4 +114,10 @@ class OptimizationStats:
             "optimized_cost_ms": self.optimized_cost,
             "speedup_percent": round(self.speedup_percent, 2),
             "extraction_status": self.extraction_status,
+            "extraction_stage_seconds": {
+                name: round(secs, 4) for name, secs in self.extraction_stage_seconds.items()
+            },
+            "extraction_prune_ratio": round(self.extraction_prune_ratio, 4),
+            "ilp_num_variables": self.ilp_num_variables,
+            "ilp_num_constraints": self.ilp_num_constraints,
         }

@@ -22,6 +22,12 @@ class ExtractionResult:
     ``cost`` is the DAG-aware cost: the sum of the cost of each *distinct*
     selected e-node (shared subgraphs counted once), which is the objective
     the ILP optimizes and the quantity the paper reports.
+
+    ``stages`` breaks ``solve_seconds`` into pipeline stages (``"prune"`` /
+    ``"greedy"`` / ``"bnb"`` / ``"ilp"``), ``stage_costs`` records the best
+    cost each stage produced (portfolio provenance), and ``reduction`` is the
+    :meth:`~repro.egraph.extraction.problem.ReductionStats.as_dict` of the
+    problem-reduction pass when one ran.
     """
 
     expr: RecExpr
@@ -29,6 +35,9 @@ class ExtractionResult:
     choices: Dict[int, ENode] = field(default_factory=dict)
     solve_seconds: float = 0.0
     status: str = "ok"
+    stages: Dict[str, float] = field(default_factory=dict)
+    stage_costs: Dict[str, float] = field(default_factory=dict)
+    reduction: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.expr is None:

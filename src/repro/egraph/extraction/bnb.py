@@ -26,7 +26,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-__all__ = ["BnBResult", "solve_branch_and_bound"]
+__all__ = ["BnBResult", "incumbent_is_feasible", "solve_branch_and_bound"]
 
 
 @dataclass
@@ -54,6 +54,28 @@ def _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, lower, upper):
     return res
 
 
+def incumbent_is_feasible(
+    x: np.ndarray,
+    a_ub: sparse.csr_matrix,
+    b_ub: np.ndarray,
+    a_eq: sparse.csr_matrix,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    tol: float = 1e-6,
+) -> bool:
+    """Whether a candidate warm-start vector satisfies every constraint."""
+    if x.shape != lower.shape:
+        return False
+    if np.any(x < lower - tol) or np.any(x > upper + tol):
+        return False
+    if a_ub.shape[0] and np.any(a_ub @ x > b_ub + tol):
+        return False
+    if a_eq.shape[0] and np.any(np.abs(a_eq @ x - b_eq) > tol):
+        return False
+    return True
+
+
 def solve_branch_and_bound(
     c: np.ndarray,
     a_ub: sparse.csr_matrix,
@@ -66,13 +88,26 @@ def solve_branch_and_bound(
     time_limit: float = 60.0,
     node_limit: int = 10_000,
     tol: float = 1e-6,
+    incumbent: Optional[Tuple[np.ndarray, float]] = None,
 ) -> BnBResult:
-    """Depth-first branch and bound with best-known-incumbent pruning."""
+    """Depth-first branch and bound with best-known-incumbent pruning.
+
+    ``incumbent`` optionally seeds the search with a known feasible solution
+    ``(x, objective)`` -- typically the greedy extraction -- giving the solver
+    an immediate upper bound: subtrees whose LP relaxation cannot beat it are
+    pruned from the first node on.  An infeasible incumbent is ignored.
+    """
     t0 = time.perf_counter()
     integer_vars = np.where(integrality > 0.5)[0]
 
     best_x: Optional[np.ndarray] = None
     best_obj = math.inf
+    if incumbent is not None:
+        x_in, obj_in = incumbent
+        x_in = np.asarray(x_in, dtype=float)
+        if incumbent_is_feasible(x_in, a_ub, b_ub, a_eq, b_eq, lower, upper, tol):
+            best_x = x_in
+            best_obj = float(obj_in)
     nodes_explored = 0
     status = "optimal"
 

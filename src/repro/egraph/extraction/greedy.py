@@ -83,10 +83,13 @@ class GreedyExtractor(Extractor):
 
         expr = build_recexpr(egraph, root, best_node)
         cost = dag_cost(egraph, root, best_node, self.node_cost)
+        seconds = time.perf_counter() - t0
         return ExtractionResult(
             expr=expr,
             cost=cost,
             choices={cls: node for cls, node in best_node.items()},
-            solve_seconds=time.perf_counter() - t0,
+            solve_seconds=seconds,
             status="ok",
+            stages={"greedy": seconds},
+            stage_costs={"greedy": cost},
         )

@@ -10,13 +10,24 @@ program.  The paper's formulation is reproduced exactly, including:
   filtering (Section 5.2),
 * a solver time limit (the paper uses 1 hour with SCIP; here the default
   backend is HiGHS through :func:`scipy.optimize.milp`).
+
+Two extraction-at-scale levers sit on top (see ``docs/extraction.md``):
+
+* **problem reduction** (``reduce_problem``, default on): dominated e-nodes
+  are pruned and the forced singleton chain from the root is fixed before the
+  solver sees the problem (:func:`~repro.egraph.extraction.problem.build_extraction_problem`);
+* **warm starting** (``warm_start``, default on): the greedy solution is
+  computed on the reduced problem and seeds the solve -- the ``bnb`` backend
+  takes it as its starting incumbent, and the HiGHS backend (which scipy
+  exposes without a MIP-start hook) gets an objective-cutoff row
+  ``c @ x <= greedy_cost`` that prunes everything the incumbent already beats.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
@@ -26,10 +37,14 @@ from repro.egraph.egraph import EGraph
 from repro.egraph.extraction.base import ExtractionResult, Extractor, NodeCost, build_recexpr, dag_cost
 from repro.egraph.extraction.bnb import solve_branch_and_bound
 from repro.egraph.extraction.greedy import GreedyExtractor
-from repro.egraph.extraction.problem import ILPProblem, build_extraction_problem
+from repro.egraph.extraction.problem import ILPProblem, build_extraction_problem, warm_start_solution
 from repro.egraph.language import ENode
 
 __all__ = ["ILPExtractor", "ILPSolveInfo"]
+
+#: Slack added to the warm-start objective cutoff so the incumbent itself
+#: (and every equal-cost optimum) stays feasible under floating-point noise.
+_CUTOFF_SLACK = 1e-6
 
 
 @dataclass
@@ -42,6 +57,12 @@ class ILPSolveInfo:
     num_variables: int
     num_constraints: int
     backend: str
+    #: True when a greedy warm start seeded this solve.
+    warm_started: bool = False
+    #: Objective of the warm-start incumbent (None when solving cold).
+    warm_start_objective: Optional[float] = None
+    #: Variable-space shrink factor of the problem-reduction pass (1.0 = none).
+    prune_ratio: float = 1.0
 
 
 class ILPExtractor(Extractor):
@@ -71,6 +92,12 @@ class ILPExtractor(Extractor):
         Relative optimality gap passed to the MIP solver; 0 demands a proven
         optimum, small positive values trade a bounded amount of optimality
         for a large reduction in solve time on big e-graphs.
+    reduce_problem:
+        Prune dominated e-nodes and fix the singleton chain before solving
+        (optimum-preserving; see :mod:`repro.egraph.extraction.problem`).
+    warm_start:
+        Seed the solver from the greedy solution (incumbent for ``bnb``,
+        objective cutoff for ``scipy``).  Optimum-preserving.
     """
 
     def __init__(
@@ -83,6 +110,8 @@ class ILPExtractor(Extractor):
         backend: str = "scipy",
         fallback_to_greedy: bool = True,
         mip_rel_gap: float = 0.0,
+        reduce_problem: bool = True,
+        warm_start: bool = True,
     ) -> None:
         if backend not in ("scipy", "bnb"):
             raise ValueError(f"unknown ILP backend {backend!r}; expected 'scipy' or 'bnb'")
@@ -94,6 +123,8 @@ class ILPExtractor(Extractor):
         self.backend = backend
         self.fallback_to_greedy = fallback_to_greedy
         self.mip_rel_gap = mip_rel_gap
+        self.reduce_problem = reduce_problem
+        self.warm_start = warm_start
         self.last_solve_info: Optional[ILPSolveInfo] = None
 
     # ------------------------------------------------------------------ #
@@ -106,13 +137,26 @@ class ILPExtractor(Extractor):
             with_cycle_constraints=self.with_cycle_constraints,
             integer_topo=self.integer_topo,
             filter_list=self.filter_list,
+            prune_dominated=self.reduce_problem,
+            collapse_singletons=self.reduce_problem,
         )
 
-    def _solve_scipy(self, problem: ILPProblem):
+    def _solve_scipy(self, problem: ILPProblem, cutoff: Optional[float] = None):
         constraints = [
             LinearConstraint(problem.a_ub, -np.inf, problem.b_ub),
             LinearConstraint(problem.a_eq, problem.b_eq, problem.b_eq),
         ]
+        if cutoff is not None:
+            # The warm-start surrogate: no solution worse than the greedy
+            # incumbent is worth enumerating.  The row is normalized by
+            # max|c| -- HiGHS mis-declares infeasibility when the cost
+            # coefficients are very small (sub-millisecond node costs).
+            scale = float(np.abs(problem.c).max()) or 1.0
+            constraints.append(
+                LinearConstraint(
+                    (problem.c / scale).reshape(1, -1), -np.inf, [cutoff / scale + _CUTOFF_SLACK]
+                )
+            )
         options = {"time_limit": self.time_limit, "presolve": True}
         if self.mip_rel_gap > 0:
             options["mip_rel_gap"] = self.mip_rel_gap
@@ -130,7 +174,7 @@ class ILPExtractor(Extractor):
         status = {1: "iteration_or_time_limit", 2: "infeasible", 3: "unbounded"}.get(res.status, "failed")
         return None, float("inf"), status
 
-    def _solve_bnb(self, problem: ILPProblem):
+    def _solve_bnb(self, problem: ILPProblem, incumbent=None):
         res = solve_branch_and_bound(
             problem.c,
             problem.a_ub,
@@ -141,6 +185,7 @@ class ILPExtractor(Extractor):
             problem.upper,
             problem.integrality,
             time_limit=self.time_limit,
+            incumbent=incumbent,
         )
         if res.x is not None:
             return res.x, res.objective, "optimal" if res.status == "optimal" else res.status
@@ -151,12 +196,30 @@ class ILPExtractor(Extractor):
     def extract(self, egraph: EGraph, root: int) -> ExtractionResult:
         t0 = time.perf_counter()
         root = egraph.find(root)
-        problem = self.build_problem(egraph, root)
+        stages: Dict[str, float] = {}
+        stage_costs: Dict[str, float] = {}
 
+        problem = self.build_problem(egraph, root)
+        stages["prune"] = time.perf_counter() - t0
+        reduction = problem.reduction.as_dict() if problem.reduction is not None else None
+
+        warm: Optional[Tuple[np.ndarray, float]] = None
+        if self.warm_start:
+            t_warm = time.perf_counter()
+            warm = warm_start_solution(problem)
+            stages["greedy"] = time.perf_counter() - t_warm
+            if warm is not None:
+                stage_costs["greedy"] = warm[1]
+
+        t_solve = time.perf_counter()
         if self.backend == "scipy":
-            x, objective, status = self._solve_scipy(problem)
+            x, objective, status = self._solve_scipy(
+                problem, cutoff=warm[1] if warm is not None else None
+            )
         else:
-            x, objective, status = self._solve_bnb(problem)
+            x, objective, status = self._solve_bnb(problem, incumbent=warm)
+        stage_name = "ilp" if self.backend == "scipy" else "bnb"
+        stages[stage_name] = time.perf_counter() - t_solve
 
         solve_seconds = time.perf_counter() - t0
         self.last_solve_info = ILPSolveInfo(
@@ -166,7 +229,15 @@ class ILPExtractor(Extractor):
             num_variables=problem.num_variables,
             num_constraints=problem.a_ub.shape[0] + problem.a_eq.shape[0],
             backend=self.backend,
+            warm_started=warm is not None,
+            warm_start_objective=warm[1] if warm is not None else None,
+            prune_ratio=problem.reduction.variable_ratio if problem.reduction else 1.0,
         )
+
+        if x is None and warm is not None:
+            # The solver gave nothing back, but the warm-start incumbent is a
+            # full feasible solution -- return it instead of re-running greedy.
+            x, objective, status = warm[0], warm[1], f"{status}_warm_incumbent"
 
         if x is None:
             if self.fallback_to_greedy:
@@ -174,18 +245,24 @@ class ILPExtractor(Extractor):
                 result = greedy.extract(egraph, root)
                 result.status = f"ilp_{status}_greedy_fallback"
                 result.solve_seconds = solve_seconds + result.solve_seconds
+                result.stages = {**stages, **result.stages}
+                result.reduction = reduction
                 return result
             raise RuntimeError(f"ILP extraction failed: solver status {status!r}")
 
         choices = self._choices_from_solution(egraph, problem, x)
         expr = build_recexpr(egraph, root, choices)
         cost = dag_cost(egraph, root, choices, self.node_cost)
+        stage_costs[stage_name] = cost
         return ExtractionResult(
             expr=expr,
             cost=cost,
             choices=choices,
             solve_seconds=solve_seconds,
             status=status,
+            stages=stages,
+            stage_costs=stage_costs,
+            reduction=reduction,
         )
 
     @staticmethod

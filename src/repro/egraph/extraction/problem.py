@@ -4,12 +4,32 @@ The problem is built once as plain numpy/scipy-sparse data so it can be handed
 to either solver backend (:mod:`scipy.optimize.milp` or the pure-Python
 branch-and-bound in :mod:`repro.egraph.extraction.bnb`), and so tests can
 inspect the formulation directly.
+
+Two optional *problem-reduction* passes shrink the variable space before any
+solver runs (see ``docs/extraction.md``):
+
+* **dominated-node pruning** (``prune_dominated``): within one e-class, an
+  e-node whose child-class set is a superset of another's and whose cost is no
+  smaller can never appear in an optimal solution -- any selection using it
+  can swap to the dominating node without demanding new e-classes or paying
+  more.  Dominated nodes (and filter-list entries) are dropped entirely and
+  reachability is recomputed over the survivors, so whole e-classes can fall
+  out of the problem.
+* **singleton collapse** (``collapse_singletons``): starting at the root, an
+  e-class with exactly one selectable candidate must pick it whenever the
+  class is demanded; the forced chain from the root has its variables fixed to
+  1 (``lower = upper = 1``), removing them from the solver's branching space.
+
+Both passes preserve the optimal objective value exactly (property-tested in
+``tests/test_extraction_equivalence.py``); :class:`ReductionStats` records
+what they removed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -19,12 +39,53 @@ from repro.egraph.egraph import EGraph
 from repro.egraph.extraction.base import NodeCost
 from repro.egraph.language import ENode
 
-__all__ = ["ILPVariables", "ILPProblem", "build_extraction_problem"]
+__all__ = [
+    "ILPVariables",
+    "ILPProblem",
+    "ReductionStats",
+    "build_extraction_problem",
+    "warm_start_solution",
+]
 
 #: Nodes whose cost reaches this threshold (shape-invalid operands) are forced
 #: to x_i = 0, exactly like filter-list entries; this keeps the objective well
 #: scaled for the MIP solver.
 UNSELECTABLE_COST = 1e5
+
+
+@dataclass
+class ReductionStats:
+    """What the problem-reduction passes removed (see module docstring)."""
+
+    #: Candidate e-node variables before / after reduction.
+    nodes_before: int = 0
+    nodes_after: int = 0
+    #: E-classes in the problem before / after reduction.
+    classes_before: int = 0
+    classes_after: int = 0
+    #: Dominated e-nodes dropped (a subset of ``nodes_before - nodes_after``;
+    #: the rest are filter-list entries and nodes orphaned by reachability).
+    dominated_pruned: int = 0
+    #: Variables fixed to 1 by the singleton-collapse chain from the root.
+    singletons_fixed: int = 0
+
+    @property
+    def variable_ratio(self) -> float:
+        """How many times smaller the e-node variable space became (>= 1.0)."""
+        if self.nodes_after <= 0:
+            return 1.0
+        return self.nodes_before / self.nodes_after
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "classes_before": self.classes_before,
+            "classes_after": self.classes_after,
+            "dominated_pruned": self.dominated_pruned,
+            "singletons_fixed": self.singletons_fixed,
+            "variable_ratio": round(self.variable_ratio, 4),
+        }
 
 
 @dataclass
@@ -62,10 +123,41 @@ class ILPProblem:
     variables: ILPVariables
     with_cycle_constraints: bool
     integer_topo: bool
+    #: Populated when a reduction pass ran; None for the raw formulation.
+    reduction: Optional[ReductionStats] = None
 
     @property
     def num_variables(self) -> int:
         return len(self.c)
+
+
+def _dominated_indices(
+    class_indices: Sequence[int],
+    child_sets: Sequence[Set[int]],
+    costs: np.ndarray,
+) -> Set[int]:
+    """Indices (into the flat node list) dominated by a same-class sibling.
+
+    ``a`` dominates ``b`` when children(a) is a subset of children(b) and
+    cost(a) <= cost(b), with a strict edge somewhere (or, on an exact tie,
+    the earlier index wins so duplicates collapse deterministically).
+    """
+    dominated: Set[int] = set()
+    for pos_b, b in enumerate(class_indices):
+        if b in dominated:
+            continue
+        for pos_a, a in enumerate(class_indices):
+            if a == b or a in dominated:
+                continue
+            if not child_sets[a] <= child_sets[b]:
+                continue
+            if costs[a] > costs[b]:
+                continue
+            strictly_better = child_sets[a] != child_sets[b] or costs[a] < costs[b]
+            if strictly_better or pos_a < pos_b:
+                dominated.add(b)
+                break
+    return dominated
 
 
 def build_extraction_problem(
@@ -76,6 +168,8 @@ def build_extraction_problem(
     integer_topo: bool = False,
     filter_list: Optional[FilterList] = None,
     at_most_one_per_class: bool = True,
+    prune_dominated: bool = False,
+    collapse_singletons: bool = False,
 ) -> ILPProblem:
     """Build the extraction ILP.
 
@@ -91,7 +185,7 @@ def build_extraction_problem(
     5. bounds on the ``t`` variables.
 
     Nodes on the filter list (paper Section 5.2) get an explicit ``x_i = 0``
-    via their upper bound.
+    via their upper bound (or are dropped entirely under ``prune_dominated``).
 
     ``at_most_one_per_class`` adds ``sum_{i in e_m} x_i <= 1`` rows for every
     e-class.  The paper's formulation omits them and relies on the fact that
@@ -99,6 +193,10 @@ def build_extraction_problem(
     a standard strengthening that does not change the optimum but tightens the
     LP relaxation considerably, which matters for the open-source MIP solver
     used here.
+
+    ``prune_dominated`` / ``collapse_singletons`` run the optimum-preserving
+    reduction passes described in the module docstring; the resulting
+    :class:`ILPProblem` carries a :class:`ReductionStats` in ``reduction``.
     """
     root = egraph.find(root)
     filtered = filter_list.as_set(egraph) if filter_list is not None else frozenset()
@@ -129,6 +227,7 @@ def build_extraction_problem(
 
     nodes: List[Tuple[int, ENode]] = []
     nodes_filtered: List[bool] = []
+    node_class: List[int] = []  # canonical e-class id per flat node index
     class_node_indices: Dict[int, List[int]] = {cid: [] for cid in class_ids}
     seen_per_class: Dict[int, set] = {cid: set() for cid in class_ids}
     for eclass in egraph.classes():
@@ -147,7 +246,67 @@ def build_extraction_problem(
             idx = len(nodes)
             nodes.append((class_pos[cid], canonical))
             nodes_filtered.append(canonical in filtered)
+            node_class.append(cid)
             class_node_indices[cid].append(idx)
+
+    reduction: Optional[ReductionStats] = None
+    if prune_dominated or collapse_singletons:
+        reduction = ReductionStats(
+            nodes_before=len(nodes),
+            nodes_after=len(nodes),
+            classes_before=len(class_ids),
+            classes_after=len(class_ids),
+        )
+
+    if prune_dominated:
+        raw_costs = np.array([node_cost(node, egraph) for _, node in nodes])
+        child_sets: List[Set[int]] = [
+            {egraph.find(ch) for ch in node.children} for _, node in nodes
+        ]
+        # Filter-list entries and shape-invalid nodes are forced to zero
+        # anyway; under pruning they are simply dropped.
+        dropped: Set[int] = {
+            i for i in range(len(nodes)) if nodes_filtered[i] or raw_costs[i] >= UNSELECTABLE_COST
+        }
+        for cid in class_ids:
+            selectable = [i for i in class_node_indices[cid] if i not in dropped]
+            dominated = _dominated_indices(selectable, child_sets, raw_costs)
+            reduction.dominated_pruned += len(dominated)
+            dropped |= dominated
+        # Pruning can orphan entire e-classes: recompute reachability over
+        # the surviving nodes and drop everything the root no longer needs.
+        survivors_by_class: Dict[int, List[int]] = {cid: [] for cid in class_ids}
+        for i in range(len(nodes)):
+            if i not in dropped:
+                survivors_by_class[node_class[i]].append(i)
+        still_reachable: Set[int] = set()
+        stack = [root]
+        while stack:
+            cid = stack.pop()
+            if cid in still_reachable:
+                continue
+            still_reachable.add(cid)
+            for i in survivors_by_class[cid]:
+                for ch in child_sets[i]:
+                    if ch not in still_reachable:
+                        stack.append(ch)
+
+        keep = [
+            i
+            for i in range(len(nodes))
+            if i not in dropped and node_class[i] in still_reachable
+        ]
+        class_ids = sorted(still_reachable)
+        class_pos = {cid: i for i, cid in enumerate(class_ids)}
+        old_nodes = nodes
+        nodes = [(class_pos[node_class[i]], old_nodes[i][1]) for i in keep]
+        nodes_filtered = [False] * len(nodes)
+        node_class = [node_class[i] for i in keep]
+        class_node_indices = {cid: [] for cid in class_ids}
+        for new_idx, _ in enumerate(nodes):
+            class_node_indices[node_class[new_idx]].append(new_idx)
+        reduction.nodes_after = len(nodes)
+        reduction.classes_after = len(class_ids)
 
     n_nodes = len(nodes)
     n_classes = len(class_ids)
@@ -167,12 +326,36 @@ def build_extraction_problem(
         if is_filtered or c[i] >= UNSELECTABLE_COST:
             upper[i] = 0.0
             c[i] = 0.0
+
     if with_cycle_constraints:
         if integer_topo:
             upper[n_nodes:] = max(n_classes - 1, 0)
             integrality[n_nodes:] = 1
         else:
             upper[n_nodes:] = 1.0
+
+    if collapse_singletons:
+        # The root class must make a pick; follow the chain of single-candidate
+        # classes it forces and fix those variables to 1.  Self-loop nodes are
+        # excluded: under cycle constraints they carry an x_i <= 0 row.
+        forced_stack = [root]
+        forced_seen: Set[int] = set()
+        while forced_stack:
+            cid = forced_stack.pop()
+            if cid in forced_seen:
+                continue
+            forced_seen.add(cid)
+            selectable = [i for i in class_node_indices[cid] if upper[i] > 0.5]
+            if len(selectable) != 1:
+                continue
+            idx = selectable[0]
+            child_ids = {egraph.find(ch) for ch in nodes[idx][1].children}
+            if cid in child_ids:
+                continue
+            if lower[idx] < 0.5:
+                lower[idx] = 1.0
+                reduction.singletons_fixed += 1
+            forced_stack.extend(child_ids)
 
     # Equality constraint (2): exactly one pick in the root class.
     eq_rows: List[int] = []
@@ -265,4 +448,100 @@ def build_extraction_problem(
         variables=variables,
         with_cycle_constraints=with_cycle_constraints,
         integer_topo=integer_topo,
+        reduction=reduction,
     )
+
+
+def warm_start_solution(problem: ILPProblem) -> Optional[Tuple[np.ndarray, float]]:
+    """The greedy solution lifted into ``problem``'s variable space.
+
+    Runs the bottom-up greedy fixpoint over the problem's own candidate lists
+    (so the selection is consistent with whatever pruning produced them) and
+    returns ``(x0, objective)`` where ``x0`` is a feasible assignment -- one
+    selected e-node per demanded class, topological-order variables set from
+    the selection's heights -- and ``objective`` is its DAG-aware cost
+    ``c @ x0``.  Returns ``None`` when no acyclic greedy selection covers the
+    root (every root candidate filtered, or a pathological negative-cost
+    cycle), in which case the caller solves cold.
+    """
+    variables = problem.variables
+    n_classes = variables.num_classes
+    n_nodes = variables.num_nodes
+    class_pos = {cid: pos for pos, cid in enumerate(variables.class_ids)}
+
+    # Per class position: selectable candidate indices and their child positions.
+    by_class: List[List[int]] = [[] for _ in range(n_classes)]
+    child_positions: List[List[int]] = []
+    for i, (cls_pos, node) in enumerate(variables.nodes):
+        children = sorted({class_pos[ch] for ch in node.children})
+        child_positions.append(children)
+        if problem.upper[i] > 0.5 and cls_pos not in children:  # skip self-loops
+            by_class[cls_pos].append(i)
+
+    best_cost = [math.inf] * n_classes
+    best_idx = [-1] * n_classes
+    changed = True
+    while changed:
+        changed = False
+        for cls in range(n_classes):
+            for i in by_class[cls]:
+                if any(best_idx[ch] < 0 for ch in child_positions[i]):
+                    continue
+                total = problem.c[i] + sum(best_cost[ch] for ch in child_positions[i])
+                if total < best_cost[cls] - 1e-12:
+                    best_cost[cls] = total
+                    best_idx[cls] = i
+                    changed = True
+
+    root_pos = variables.root_position
+    if best_idx[root_pos] < 0:
+        return None
+
+    # Collect the demanded classes (children-first); a cycle in the selection
+    # (only possible with negative costs) voids the warm start.
+    used: List[int] = []
+    state: Dict[int, int] = {}  # 0/absent = unvisited, 1 = on stack, 2 = done
+    dfs: List[Tuple[int, int]] = [(root_pos, 0)]  # (class position, next child slot)
+    while dfs:
+        cls, slot = dfs.pop()
+        if slot == 0:
+            if state.get(cls) == 2:
+                continue
+            state[cls] = 1
+        children = child_positions[best_idx[cls]]
+        descended = False
+        while slot < len(children):
+            ch = children[slot]
+            slot += 1
+            child_state = state.get(ch)
+            if child_state == 1:
+                return None  # cycle in the selection
+            if child_state != 2:
+                dfs.append((cls, slot))
+                dfs.append((ch, 0))
+                descended = True
+                break
+        if not descended:
+            state[cls] = 2
+            used.append(cls)
+
+    x0 = np.zeros(problem.num_variables)
+    objective = 0.0
+    for cls in used:
+        idx = best_idx[cls]
+        x0[idx] = 1.0
+        objective += float(problem.c[idx])
+
+    if problem.with_cycle_constraints:
+        # Topological order from selection heights: leaves 0, parents above.
+        height = [0] * n_classes
+        for cls in used:  # ``used`` is already children-first
+            children = child_positions[best_idx[cls]]
+            if children:
+                height[cls] = 1 + max(height[ch] for ch in children)
+        eps = 1.0 / (2 * max(n_classes, 1))
+        scale = 1.0 if problem.integer_topo else eps
+        for cls in used:
+            x0[n_nodes + cls] = height[cls] * scale
+
+    return x0, objective

@@ -146,6 +146,101 @@ class TestFilters:
         assert isinstance(make_cycle_filter("efficient"), EfficientCycleFilter)
 
 
+class TestEdgeCases:
+    """Cycle shapes the happy paths above don't exercise: self-loops,
+    2-cycles created by unions, and extraction straight off a filtered
+    cyclic fixture."""
+
+    def test_self_loop_is_detected_and_resolved(self):
+        # union(a, f(a)) puts the f-node in its own child class: a self-loop.
+        eg = EGraph()
+        a = eg.add_term("a")
+        f = eg.add_term("(f a)")
+        eg.union(a, f)
+        eg.rebuild()
+        cycles = find_cycles(eg)
+        assert cycles, "a self-loop is a cycle"
+        flist = FilterList()
+        for _ in range(10):
+            remaining = find_cycles(eg, flist)
+            if not remaining:
+                break
+            resolve_cycles(eg, flist, remaining)
+        assert find_cycles(eg, flist) == []
+        assert len(flist) >= 1
+
+    def test_self_loop_extraction_picks_the_acyclic_candidate(self):
+        from repro.egraph.extraction.greedy import GreedyExtractor
+        from repro.egraph.extraction.ilp import ILPExtractor
+
+        eg = EGraph()
+        a = eg.add_term("a")
+        f = eg.add_term("(f a)")
+        eg.union(a, f)
+        eg.rebuild()
+        root = eg.add(ENode("g", (eg.find(a),)))
+        nc = lambda enode, egraph: 1.0  # noqa: E731
+        greedy = GreedyExtractor(nc).extract(eg, root)
+        ilp = ILPExtractor(nc, with_cycle_constraints=True).extract(eg, root)
+        assert str(greedy.expr) == "(g a)"
+        assert str(ilp.expr) == "(g a)"
+
+    def test_two_cycle_through_unions(self):
+        # union(a, f(b)) and union(b, g(a)): class(a) -> class(b) -> class(a).
+        eg = EGraph()
+        a = eg.add_term("a")
+        b = eg.add_term("b")
+        fb = eg.add_term("(f b)")
+        ga = eg.add_term("(g a)")
+        eg.union(a, fb)
+        eg.union(b, ga)
+        eg.rebuild()
+        cycles = find_cycles(eg)
+        assert cycles
+        assert reaches(eg, a, b) and reaches(eg, b, a)
+        flist = FilterList()
+        for _ in range(10):
+            remaining = find_cycles(eg, flist)
+            if not remaining:
+                break
+            resolve_cycles(eg, flist, remaining)
+        assert find_cycles(eg, flist) == []
+
+    def test_filter_then_extract_on_figure3(self):
+        # The full paper pipeline on the known cyclic fixture: resolve the
+        # cycles into a filter list, then extract without cycle constraints --
+        # the filter list alone must guarantee an acyclic selection.
+        from repro.egraph.extraction.ilp import ILPExtractor
+        from repro.egraph.extraction.portfolio import PortfolioExtractor
+
+        eg, inner, root, rule = figure3_egraph()
+        for combo in rule.search(eg):
+            rule.apply_match(eg, combo)
+        eg.rebuild()
+        flist = FilterList()
+        for _ in range(10):
+            remaining = find_cycles(eg, flist)
+            if not remaining:
+                break
+            resolve_cycles(eg, flist, remaining)
+        assert find_cycles(eg, flist) == []
+        nc = lambda enode, egraph: 1.0  # noqa: E731
+        result = ILPExtractor(
+            nc, with_cycle_constraints=False, filter_list=flist
+        ).extract(eg, root)
+        # build_recexpr raises on a cyclic selection, so a term proves acyclicity.
+        assert result.expr.subterm_size() >= 3
+        portfolio = PortfolioExtractor(nc, deadline=30.0, filter_list=flist).extract(eg, root)
+        assert portfolio.cost == result.cost
+
+    def test_would_create_cycle_self_reference(self):
+        eg = EGraph()
+        a = eg.add_term("a")
+        desc = descendants_map(eg)
+        # A node in class(a) whose child is class(a) itself: immediate self-loop.
+        assert would_create_cycle(eg, [a], [a], desc)
+
+
 class TestFilterList:
     def test_contains_after_union(self):
         eg = EGraph()

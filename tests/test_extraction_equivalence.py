@@ -1,0 +1,160 @@
+"""Property suite: the extraction strategies agree on random small e-graphs.
+
+The three strategies form a quality ladder -- greedy is a heuristic, BnB and
+the HiGHS ILP are exact -- and the problem-reduction pass must never move the
+optimum.  Costs are drawn as small integers so "same cost" is exact float
+equality (sums of small ints are exactly representable), letting the
+pruned-vs-unpruned property assert bit-for-bit equality rather than an
+approximate match.
+
+Random instances include e-class cycles (a term unioned with its own
+subterm), so the exact extractors run with the topological-order cycle
+constraints enabled; greedy is acyclic by construction.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import sexpr as sx
+from repro.egraph.egraph import EGraph
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.egraph.extraction.problem import build_extraction_problem, warm_start_solution
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+atoms = st.text(alphabet=string.ascii_lowercase[:6], min_size=1, max_size=2)
+
+
+def sexpr_trees():
+    return st.recursive(
+        atoms,
+        lambda children: st.lists(children, min_size=1, max_size=3).map(
+            lambda kids: ["op" + str(len(kids))] + kids
+        ),
+        max_leaves=6,
+    )
+
+
+@st.composite
+def egraph_instances(draw):
+    """A small e-graph built from random terms, random unions, integer costs.
+
+    Unions between term roots can merge a class with one of its own
+    descendants, creating e-class cycles -- exactly the shape cycle
+    constraints exist for.
+    """
+    trees = draw(st.lists(sexpr_trees(), min_size=2, max_size=4))
+    eg = EGraph()
+    roots = [eg.add_term(sx.to_string(t)) for t in trees]
+    n_unions = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_unions):
+        a = draw(st.sampled_from(roots))
+        b = draw(st.sampled_from(roots))
+        eg.union(a, b)
+    eg.rebuild()
+    root = eg.find(roots[0])
+
+    ops = sorted({node.op for eclass in eg.classes() for node in eclass.nodes})
+    costs = {op: draw(st.integers(min_value=1, max_value=9)) for op in ops}
+    return eg, root, costs
+
+
+def cost_fn(costs):
+    return lambda enode, egraph: float(costs.get(enode.op, 1))
+
+
+def selection_is_acyclic_and_complete(eg, root, result):
+    """Walk the extracted choices from the root: every class chosen, no cycle."""
+    seen = set()
+    on_path = set()
+
+    def visit(cid):
+        cid = eg.find(cid)
+        if cid in seen:
+            return
+        assert cid not in on_path, "cyclic extraction selection"
+        assert cid in {eg.find(c) for c in result.choices}, "missing choice"
+        on_path.add(cid)
+        node = result.choices[cid] if cid in result.choices else result.choices[eg.find(cid)]
+        for child in node.children:
+            visit(child)
+        on_path.discard(cid)
+        seen.add(cid)
+
+    choices_canonical = {eg.find(c): n for c, n in result.choices.items()}
+    result.choices.update(choices_canonical)
+    visit(root)
+
+
+class TestStrategyEquivalence:
+    @given(egraph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_cost_ladder_ilp_le_bnb_le_greedy(self, instance):
+        eg, root, costs = instance
+        nc = cost_fn(costs)
+        greedy = GreedyExtractor(nc).extract(eg, root)
+        bnb = ILPExtractor(nc, backend="bnb", with_cycle_constraints=True).extract(eg, root)
+        ilp = ILPExtractor(nc, backend="scipy", with_cycle_constraints=True).extract(eg, root)
+        assert ilp.cost <= bnb.cost + 1e-9
+        assert bnb.cost <= greedy.cost + 1e-9
+        # Both exact backends prove the same optimum.
+        assert ilp.cost == pytest.approx(bnb.cost)
+
+    @given(egraph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_all_strategies_produce_valid_cycle_free_terms(self, instance):
+        eg, root, costs = instance
+        nc = cost_fn(costs)
+        for result in (
+            GreedyExtractor(nc).extract(eg, root),
+            ILPExtractor(nc, backend="bnb", with_cycle_constraints=True).extract(eg, root),
+            ILPExtractor(nc, backend="scipy", with_cycle_constraints=True).extract(eg, root),
+        ):
+            # build_recexpr already raises on a cyclic selection; re-verify
+            # the invariant independently over the raw choices.
+            selection_is_acyclic_and_complete(eg, root, result)
+            assert result.expr.subterm_size() >= 1
+
+    @given(egraph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_pruning_never_changes_the_ilp_optimum(self, instance):
+        eg, root, costs = instance
+        nc = cost_fn(costs)
+        pruned = ILPExtractor(
+            nc, with_cycle_constraints=True, reduce_problem=True, warm_start=False
+        ).extract(eg, root)
+        unpruned = ILPExtractor(
+            nc, with_cycle_constraints=True, reduce_problem=False, warm_start=False
+        ).extract(eg, root)
+        # Integer costs: the optima must agree bit-for-bit, not just approximately.
+        assert pruned.cost == unpruned.cost
+
+    @given(egraph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_warm_start_never_changes_the_ilp_optimum(self, instance):
+        eg, root, costs = instance
+        nc = cost_fn(costs)
+        warm = ILPExtractor(nc, with_cycle_constraints=True, warm_start=True).extract(eg, root)
+        cold = ILPExtractor(nc, with_cycle_constraints=True, warm_start=False).extract(eg, root)
+        assert warm.cost == cold.cost
+
+
+class TestWarmStartSolution:
+    @given(egraph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_warm_start_objective_matches_its_vector(self, instance):
+        eg, root, costs = instance
+        nc = cost_fn(costs)
+        problem = build_extraction_problem(
+            eg, root, nc, with_cycle_constraints=True, prune_dominated=True, collapse_singletons=True
+        )
+        warm = warm_start_solution(problem)
+        if warm is None:
+            return  # greedy hit a selection cycle; nothing to check
+        x0, obj = warm
+        assert float(problem.c @ x0) == pytest.approx(obj)

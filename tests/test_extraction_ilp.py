@@ -176,3 +176,122 @@ class TestCycleHandling:
             nc, with_cycle_constraints=False, filter_list=cycle_filter.filter_list
         ).extract(eg, root)
         assert result.status in ("optimal", "feasible")
+
+
+class TestProblemReduction:
+    def make_dominated_egraph(self):
+        """One e-class with two candidates over the same child: (f a) and the
+        strictly more expensive (g a) -- g is dominated."""
+        eg = EGraph()
+        root = eg.add_term("(f a)")
+        Rewrite.parse("worse", "(f ?x)", "(g ?x)").run(eg)
+        eg.rebuild()
+        nc = cost_table({"f": 1.0, "g": 2.0}, default=0.0)
+        return eg, root, nc
+
+    def test_dominated_node_is_pruned(self):
+        eg, root, nc = self.make_dominated_egraph()
+        raw = build_extraction_problem(eg, root, nc)
+        reduced = build_extraction_problem(eg, root, nc, prune_dominated=True)
+        assert raw.reduction is None
+        assert reduced.reduction is not None
+        assert reduced.reduction.dominated_pruned >= 1
+        assert reduced.num_variables < raw.num_variables
+        assert reduced.reduction.variable_ratio > 1.0
+        ops = {node.op for _, node in reduced.variables.nodes}
+        assert "g" not in ops  # the dominated candidate is gone
+
+    def test_equal_cost_duplicates_collapse_deterministically(self):
+        eg = EGraph()
+        root = eg.add_term("(f a)")
+        Rewrite.parse("twin", "(f ?x)", "(g ?x)").run(eg)
+        eg.rebuild()
+        nc = cost_table({"f": 1.0, "g": 1.0}, default=0.0)
+        reduced = build_extraction_problem(eg, root, nc, prune_dominated=True)
+        # Exact tie: earlier-registered candidate wins, exactly one survives.
+        class_sizes = {}
+        for cls_pos, _ in reduced.variables.nodes:
+            class_sizes[cls_pos] = class_sizes.get(cls_pos, 0) + 1
+        assert max(class_sizes.values()) == 1
+
+    def test_singleton_chain_is_fixed(self):
+        eg = EGraph()
+        root = eg.add_term("(f (g (h a)))")  # pure chain: every class a singleton
+        nc = cost_table({}, default=1.0)
+        problem = build_extraction_problem(
+            eg, root, nc, prune_dominated=True, collapse_singletons=True
+        )
+        assert problem.reduction.singletons_fixed == 4
+        assert (problem.lower[: problem.variables.num_nodes] == 1.0).all()
+
+    def test_pruning_preserves_the_optimum(self):
+        eg, root, costs = shared_plan_egraph()
+        nc = cost_table(costs)
+        pruned = ILPExtractor(nc, reduce_problem=True, warm_start=False).extract(eg, root)
+        raw = ILPExtractor(nc, reduce_problem=False, warm_start=False).extract(eg, root)
+        assert pruned.cost == pytest.approx(raw.cost) == pytest.approx(10.0)
+        assert pruned.reduction is not None
+
+    def test_reduction_stats_reach_solve_info(self):
+        eg, root, nc = self.make_dominated_egraph()
+        extractor = ILPExtractor(nc, reduce_problem=True)
+        extractor.extract(eg, root)
+        assert extractor.last_solve_info.prune_ratio > 1.0
+
+
+class TestWarmStart:
+    def test_warm_start_vector_is_feasible_and_greedy_cost(self):
+        from repro.egraph.extraction.bnb import incumbent_is_feasible
+        from repro.egraph.extraction.problem import warm_start_solution
+
+        eg, root, costs = shared_plan_egraph()
+        nc = cost_table(costs)
+        problem = build_extraction_problem(
+            eg, root, nc, prune_dominated=True, collapse_singletons=True
+        )
+        x0, obj = warm_start_solution(problem)
+        assert incumbent_is_feasible(
+            x0, problem.a_ub, problem.b_ub, problem.a_eq, problem.b_eq,
+            problem.lower, problem.upper,
+        )
+        greedy = GreedyExtractor(nc).extract(eg, root)
+        assert obj == pytest.approx(greedy.cost)
+
+    def test_warm_and_cold_solves_agree(self):
+        eg, root, costs = shared_plan_egraph()
+        nc = cost_table(costs)
+        for backend in ("scipy", "bnb"):
+            warm = ILPExtractor(nc, backend=backend, warm_start=True).extract(eg, root)
+            cold = ILPExtractor(nc, backend=backend, warm_start=False).extract(eg, root)
+            assert warm.cost == pytest.approx(cold.cost) == pytest.approx(10.0)
+
+    def test_warm_start_info_recorded(self):
+        eg, root, costs = shared_plan_egraph()
+        extractor = ILPExtractor(cost_table(costs), warm_start=True)
+        extractor.extract(eg, root)
+        info = extractor.last_solve_info
+        assert info.warm_started
+        assert info.warm_start_objective == pytest.approx(14.0)  # the greedy cost
+
+    def test_bnb_incumbent_accepts_only_feasible_vectors(self):
+        from repro.egraph.extraction.bnb import solve_branch_and_bound
+
+        eg, root, costs = shared_plan_egraph()
+        problem = build_extraction_problem(eg, root, cost_table(costs))
+        bogus = np.full(problem.num_variables, 0.5)  # violates the eq row
+        res = solve_branch_and_bound(
+            problem.c, problem.a_ub, problem.b_ub, problem.a_eq, problem.b_eq,
+            problem.lower, problem.upper, problem.integrality,
+            incumbent=(bogus, 0.0),
+        )
+        # The infeasible incumbent is ignored, not returned.
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(10.0)
+
+    def test_stage_timings_on_result(self):
+        eg, root, costs = shared_plan_egraph()
+        result = ILPExtractor(cost_table(costs)).extract(eg, root)
+        assert "prune" in result.stages
+        assert "greedy" in result.stages
+        assert "ilp" in result.stages
+        assert result.stage_costs["ilp"] == pytest.approx(10.0)

@@ -1,0 +1,158 @@
+"""Portfolio extraction: golden parity, warm-start parity, deadline semantics.
+
+Three contracts:
+
+* **Parity** -- ``extraction="portfolio"`` with a generous deadline lands on
+  the same cost as plain ILP (the anytime race must converge to the exact
+  optimum when given the time), and warm-started ILP equals cold ILP (cost
+  *and* extracted graph).
+* **Deadline** -- under a deadline too tight for the exact stages the
+  portfolio degrades to greedy, never raises, and records
+  ``"portfolio_greedy_fallback"`` in ``stats.extraction_status`` (the PR 4
+  regression-guard provenance convention).
+* **Stats spine** -- per-stage timings, the prune ratio, and the
+  ``on_extraction`` event reach ``OptimizationStats`` / observers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TensatConfig
+from repro.core.events import PhaseTimingObserver, RecordingObserver
+from repro.core.session import OptimizationSession
+from repro.egraph.extraction.greedy import GreedyExtractor
+from repro.egraph.extraction.ilp import ILPExtractor
+from repro.egraph.extraction.portfolio import PortfolioExtractor
+from repro.models import build_model
+
+BASE = dict(node_limit=2_000, iter_limit=5, k_multi=1)
+
+PARITY_MODELS = ["nasrnn", "resnext"]
+
+
+def _run(model: str, **overrides):
+    config = TensatConfig(**{**BASE, **overrides})
+    session = OptimizationSession(build_model(model, "tiny"), config=config)
+    return session.result()
+
+
+class TestPortfolioParity:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("model", PARITY_MODELS)
+    def test_generous_deadline_matches_plain_ilp(self, model):
+        ilp = _run(model, extraction="ilp", ilp_time_limit=30.0)
+        portfolio = _run(
+            model, extraction="portfolio", extraction_deadline=120.0, ilp_time_limit=30.0
+        )
+        assert portfolio.stats.optimized_cost == pytest.approx(ilp.stats.optimized_cost)
+        assert portfolio.stats.extraction_status.startswith("portfolio_")
+        assert not portfolio.stats.extraction_status.endswith("_fallback")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("model", PARITY_MODELS)
+    def test_warm_ilp_matches_cold_ilp(self, model):
+        warm = _run(model, extraction="ilp", ilp_time_limit=30.0, ilp_warm_start=True)
+        cold = _run(model, extraction="ilp", ilp_time_limit=30.0, ilp_warm_start=False)
+        assert warm.stats.optimized_cost == pytest.approx(cold.stats.optimized_cost)
+        # Same extracted graph, not just the same headline cost.
+        assert str(warm.extraction.expr) == str(cold.extraction.expr)
+
+
+class TestDeadlineSemantics:
+    def test_tight_deadline_falls_back_to_greedy_and_never_raises(self):
+        result = _run(
+            "nasrnn", extraction="portfolio", extraction_deadline=1e-6, ilp_time_limit=30.0
+        )
+        assert result.stats.extraction_status == "portfolio_greedy_fallback"
+        assert result.stats.optimized_cost > 0
+        assert result.optimized is not None
+
+    def test_fallback_status_reaches_stats_extraction_status(self):
+        config = TensatConfig(**BASE, extraction="portfolio", extraction_deadline=1e-6)
+        session = OptimizationSession(build_model("nasrnn", "tiny"), config=config)
+        extraction = session.extract()
+        assert extraction.status == "portfolio_greedy_fallback"
+        assert session.extraction_status == "portfolio_greedy_fallback"
+        stats = session.result().stats
+        assert stats.extraction_status == "portfolio_greedy_fallback"
+        assert stats.as_dict()["extraction_status"] == "portfolio_greedy_fallback"
+
+    def test_greedy_stage_always_runs_even_with_expired_deadline(self):
+        # The greedy stage is the feasibility floor: it runs regardless of
+        # how little budget remains, so the portfolio always returns a term.
+        eg_session = OptimizationSession(
+            build_model("nasrnn", "tiny"),
+            config=TensatConfig(**BASE, extraction="portfolio", extraction_deadline=1e-9),
+        )
+        extraction = eg_session.extract()
+        assert extraction.expr is not None
+        assert "greedy" in extraction.stages
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            TensatConfig(extraction_deadline=0.0)
+        with pytest.raises(ValueError):
+            PortfolioExtractor(lambda n, e: 1.0, deadline=-1.0)
+
+
+class TestPortfolioStages:
+    def test_stage_provenance_recorded(self):
+        config = TensatConfig(**BASE, extraction="portfolio", extraction_deadline=60.0)
+        session = OptimizationSession(build_model("nasrnn", "tiny"), config=config)
+        extraction = session.extract()
+        assert "greedy" in extraction.stages
+        assert "greedy" in extraction.stage_costs
+        # The winning stage's cost is the returned cost.
+        assert extraction.cost == pytest.approx(min(extraction.stage_costs.values()))
+
+    def test_stats_carry_stage_seconds_and_prune_ratio(self):
+        result = _run("nasrnn", extraction="portfolio", extraction_deadline=60.0)
+        stats = result.stats
+        assert stats.extraction_stage_seconds  # at least the greedy stage
+        assert all(secs >= 0.0 for secs in stats.extraction_stage_seconds.values())
+        assert stats.extraction_prune_ratio >= 1.0
+        payload = stats.as_dict()
+        assert "extraction_stage_seconds" in payload
+        assert "extraction_prune_ratio" in payload
+
+    def test_on_extraction_event_fires_with_the_result(self):
+        recording = RecordingObserver()
+        timing = PhaseTimingObserver()
+        config = TensatConfig(**BASE, extraction="portfolio", extraction_deadline=60.0)
+        session = OptimizationSession(
+            build_model("nasrnn", "tiny"), config=config, observers=[recording, timing]
+        )
+        extraction = session.extract()
+        events = recording.of_kind("extraction")
+        assert len(events) == 1
+        assert events[0][1] is extraction
+        assert timing.extraction_stage_seconds
+        assert timing.extraction_prune_ratio >= 1.0
+
+
+class TestPortfolioUnit:
+    def test_portfolio_matches_ilp_on_shared_plan(self):
+        # The canonical greedy-vs-ILP separation: sharing one expensive node.
+        from tests.test_extraction_ilp import cost_table, shared_plan_egraph
+
+        eg, root, costs = shared_plan_egraph()
+        nc = cost_table(costs)
+        greedy = GreedyExtractor(nc).extract(eg, root)
+        ilp = ILPExtractor(nc).extract(eg, root)
+        portfolio = PortfolioExtractor(nc, deadline=60.0).extract(eg, root)
+        assert greedy.cost == pytest.approx(14.0)
+        assert ilp.cost == pytest.approx(10.0)
+        assert portfolio.cost == pytest.approx(10.0)
+        assert portfolio.status in ("portfolio_bnb", "portfolio_ilp")
+
+    def test_portfolio_status_is_greedy_when_greedy_is_optimal(self):
+        from tests.test_extraction_ilp import cost_table
+
+        from repro.egraph.egraph import EGraph
+
+        eg = EGraph()
+        root = eg.add_term("(f (g a) b)")
+        portfolio = PortfolioExtractor(cost_table({}), deadline=60.0).extract(eg, root)
+        # No strict improvement over greedy -> greedy keeps the win.
+        assert portfolio.status == "portfolio_greedy"

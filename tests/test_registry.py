@@ -83,7 +83,7 @@ class TestRegistryMechanics:
 class TestBuiltinEntries:
     def test_builtin_names(self):
         assert SCHEDULERS.names() == ("simple", "backoff")
-        assert EXTRACTORS.names() == ("ilp", "greedy")
+        assert EXTRACTORS.names() == ("ilp", "greedy", "portfolio")
         assert CYCLE_FILTERS.names() == ("efficient", "vanilla", "none")
         assert MULTIPATTERN_JOINS.names() == ("hash", "product")
         assert CONDITION_CACHES.names() == ("auto", "memo", "off")

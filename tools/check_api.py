@@ -1,13 +1,18 @@
 #!/usr/bin/env python
 """Fail when the public API surface drifts from its sources of truth.
 
-Three checks:
+Four checks:
 
 1. every name in ``repro.__all__`` actually imports (no stale exports),
 2. every CLI ``choices=`` list for a strategy knob equals the corresponding
    component registry's names (no hand-maintained tuples),
 3. the legacy ``*_CHOICES`` snapshot tuples in ``repro.core.config`` match
-   the registries they snapshot.
+   the registries they snapshot,
+4. the extraction-at-scale lockstep: ``"portfolio"`` is registered in
+   ``EXTRACTORS`` and the CLI defaults for ``--extraction-deadline`` /
+   ``--no-extraction-prune`` / ``--no-ilp-warm-start`` equal the
+   ``TensatConfig`` field defaults (the config dataclass is the single
+   source of truth for engine-knob defaults).
 
 Run from anywhere::
 
@@ -126,8 +131,39 @@ def check_config_snapshots() -> list:
     return problems
 
 
+def check_extraction_lockstep() -> list:
+    """The extraction-at-scale knobs stay consistent across all surfaces."""
+    problems = []
+    if "portfolio" not in EXTRACTORS:
+        problems.append("EXTRACTORS registry is missing the 'portfolio' entry")
+    defaults = config_module.TensatConfig()
+    subcommands = _subcommand_parsers(build_parser())
+    optimize = subcommands.get("optimize")
+    if optimize is None:
+        return problems + ["CLI has no 'optimize' subcommand"]
+    cli_defaults = {a.dest: a.default for a in optimize._actions}
+    for dest, config_value in (
+        ("extraction_deadline", defaults.extraction_deadline),
+        ("extraction_prune", defaults.extraction_prune),
+        ("ilp_warm_start", defaults.ilp_warm_start),
+    ):
+        if dest not in cli_defaults:
+            problems.append(f"CLI 'optimize' has no flag wired to config.{dest}")
+        elif cli_defaults[dest] != config_value:
+            problems.append(
+                f"CLI 'optimize' default for {dest} is {cli_defaults[dest]!r} "
+                f"!= TensatConfig().{dest} == {config_value!r}"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_exports() + check_cli_choices() + check_config_snapshots()
+    problems = (
+        check_exports()
+        + check_cli_choices()
+        + check_config_snapshots()
+        + check_extraction_lockstep()
+    )
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
@@ -136,7 +172,8 @@ def main() -> int:
     n_knobs = len(CLI_REGISTRY_KNOBS)
     print(
         f"ok: {len(repro.__all__)} exports import, {n_knobs} CLI strategy knobs "
-        "match their registries, config snapshots consistent"
+        "match their registries, config snapshots consistent, extraction "
+        "deadline/prune/warm-start defaults in lockstep"
     )
     return 0
 
