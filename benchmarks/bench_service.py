@@ -1,0 +1,136 @@
+"""Load benchmark for the optimization service daemon.
+
+Measures end-to-end request latency (client socket to response line) for the
+same workload at the service's three temperature tiers:
+
+* ``cold``       -- a fresh daemon per request: pays rule-trie compilation
+                    and the full optimization on every submission (what a
+                    one-shot ``python -m repro optimize`` costs).
+* ``warm-trie``  -- one resident daemon, result cache cleared between
+                    requests: pays the optimization but reuses the compiled
+                    rule trie and warm process (what a cache *miss* costs a
+                    long-lived service).
+* ``cache-hit``  -- one resident daemon, identical resubmissions: the
+                    canonical-fingerprint cache answers from memory.
+
+The regenerated table reports requests/sec and p50/p99 latency per tier;
+the JSON payload also carries the warm daemon's final status counters
+(cache hits/misses/evictions, queue wait) for the results archive.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from benchmarks.common import bench_scale, format_table, write_result
+from repro.models import build_model
+from repro.service import ServiceClient, ServiceConfig
+from repro.service.server import ServerThread
+
+#: Requests per tier, scaled with the workload.
+TIER_REQUESTS = {"tiny": 6, "small": 12, "full": 24}
+
+MODEL = "nasrnn"
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy needed for a handful of samples)."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def summarize(tier: str, latencies: List[float]) -> Dict[str, float]:
+    total = sum(latencies)
+    return {
+        "tier": tier,
+        "requests": len(latencies),
+        "requests_per_sec": len(latencies) / total if total else float("inf"),
+        "p50_ms": percentile(latencies, 50) * 1000.0,
+        "p99_ms": percentile(latencies, 99) * 1000.0,
+        "total_seconds": total,
+    }
+
+
+def bench_cold(graph, n: int) -> Dict[str, float]:
+    latencies = []
+    for _ in range(n):
+        with ServerThread(service_config=ServiceConfig(port=0)) as server:
+            client = ServiceClient(port=server.port)
+            start = time.perf_counter()
+            response = client.optimize(graph=graph)
+            latencies.append(time.perf_counter() - start)
+            assert response["cache"] == "miss"
+            client.shutdown()
+    return summarize("cold", latencies)
+
+
+def bench_warm(graph, n: int):
+    """Warm-trie misses and cache hits on one resident daemon."""
+    with ServerThread(service_config=ServiceConfig(port=0)) as server:
+        client = ServiceClient(port=server.port)
+        client.optimize(graph=graph)  # compile the trie outside the timings
+
+        miss_latencies = []
+        for _ in range(n):
+            server.service.cache.clear()  # force a miss on the warm daemon
+            start = time.perf_counter()
+            response = client.optimize(graph=graph)
+            miss_latencies.append(time.perf_counter() - start)
+            assert response["cache"] == "miss"
+
+        hit_latencies = []
+        for _ in range(n):
+            start = time.perf_counter()
+            response = client.optimize(graph=graph)
+            hit_latencies.append(time.perf_counter() - start)
+            assert response["cache"] == "hit"
+
+        status = client.status()
+        client.shutdown()
+    return summarize("warm-trie", miss_latencies), summarize("cache-hit", hit_latencies), status
+
+
+def main() -> None:
+    scale = bench_scale()
+    n = TIER_REQUESTS.get(scale, 6)
+    graph = build_model(MODEL, scale if scale in ("tiny", "small") else "small")
+
+    cold = bench_cold(graph, n)
+    warm, hit, status = bench_warm(graph, n)
+
+    rows = [
+        (
+            tier["tier"],
+            tier["requests"],
+            f"{tier['requests_per_sec']:.1f}",
+            f"{tier['p50_ms']:.2f}",
+            f"{tier['p99_ms']:.2f}",
+        )
+        for tier in (cold, warm, hit)
+    ]
+    table = format_table(["tier", "requests", "req/s", "p50 ms", "p99 ms"], rows)
+    text = (
+        f"Service load benchmark ({MODEL}, scale={scale}, {n} requests/tier)\n\n"
+        + table
+        + "\n\nwarm daemon final status: "
+        + f"cache hits={status['cache']['hits']} misses={status['cache']['misses']} "
+        + f"evictions={status['cache']['evictions']}, "
+        + f"queue wait mean={status['queue']['queue_seconds_mean']:.4f}s "
+        + f"(total {status['queue']['queue_seconds_total']:.4f}s)"
+    )
+    write_result(
+        "service_load",
+        text,
+        data={
+            "model": MODEL,
+            "scale": scale,
+            "tiers": [cold, warm, hit],
+            "warm_status": status,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

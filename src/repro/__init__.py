@@ -27,6 +27,10 @@ Batches share one compiled rule trie via :func:`optimize_many`, and the
 component registries in :mod:`repro.core.registry` let third-party
 extractors / schedulers / joins plug in without editing the driver.
 
+For repeated traffic there is a long-lived daemon (``python -m repro serve``)
+with a canonical-fingerprint result cache; see :mod:`repro.service` and
+``docs/service.md``.
+
 The package is organised as:
 
 * :mod:`repro.egraph`   -- e-graph / equality-saturation substrate (egg-like).
@@ -58,6 +62,13 @@ from repro.core.session import OptimizationSession
 from repro.core.stats import OptimizationStats
 from repro.ir.graph import GraphBuilder, TensorGraph
 from repro.ir.tensor import TensorShape
+from repro.service import (
+    ResultCache,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    graph_fingerprint,
+)
 
 __version__ = "0.2.0"
 
@@ -88,6 +99,12 @@ __all__ = [
     "SCHEDULERS",
     "SEARCH_EXECUTORS",
     "SEARCH_MODES",
+    # Optimization service
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "graph_fingerprint",
     # IR conveniences
     "GraphBuilder",
     "TensorGraph",

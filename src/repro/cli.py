@@ -7,6 +7,8 @@ Examples::
     python -m repro compare --model squeezenet --scale tiny --taso-budget 30
     python -m repro models
     python -m repro rules --tag merge
+    python -m repro serve --port 8077
+    python -m repro submit --model nasrnn --scale tiny --set extraction=greedy
 """
 
 from __future__ import annotations
@@ -29,9 +31,10 @@ from repro.core.registry import (
     SHAPE_ANALYSES,
 )
 from repro.costs import AnalyticCostModel
-from repro.ir.serialize import save_graph
+from repro.ir.serialize import load_graph, save_graph
 from repro.models import MODEL_NAMES, build_model
 from repro.rules import default_ruleset
+from repro.service.server import ServiceConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -40,6 +43,10 @@ __all__ = ["main", "build_parser"]
 #: never drift from what library users get; choices come straight from the
 #: component registries (tools/check_api.py asserts they stay in lockstep).
 _CONFIG_DEFAULTS = TensatConfig()
+
+#: Service-knob defaults likewise come from the ServiceConfig dataclass
+#: (tools/check_api.py asserts the `serve` flags stay in lockstep).
+_SERVICE_DEFAULTS = ServiceConfig()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +135,55 @@ def build_parser() -> argparse.ArgumentParser:
     rules = sub.add_parser("rules", help="list the rewrite-rule library")
     rules.add_argument("--tag", help="only rules carrying this tag")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the optimization service daemon (long-lived, with a result cache)",
+    )
+    serve.add_argument("--host", default=_SERVICE_DEFAULTS.host)
+    serve.add_argument(
+        "--port", type=int, default=_SERVICE_DEFAULTS.port,
+        help="TCP port to bind (0 picks an ephemeral port; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=_SERVICE_DEFAULTS.max_concurrency,
+        help="worker threads running cache-missed optimizations concurrently",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=_SERVICE_DEFAULTS.queue_limit,
+        help="requests allowed to wait beyond the running ones before "
+             "admission fails fast with a queue_full error",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=_SERVICE_DEFAULTS.request_timeout,
+        help="per-request wall-clock budget in seconds (exceeding it returns "
+             "a typed timeout error)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=_SERVICE_DEFAULTS.cache_capacity,
+        help="bounded LRU capacity of the fingerprint-keyed result cache",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the final status counters (cache traffic, queue wait) as JSON on shutdown",
+    )
+
+    submit = sub.add_parser("submit", help="submit a graph to a running optimization service")
+    submit.add_argument("--host", default=_SERVICE_DEFAULTS.host)
+    submit.add_argument("--port", type=int, default=_SERVICE_DEFAULTS.port)
+    source = submit.add_mutually_exclusive_group()
+    source.add_argument("--model", choices=MODEL_NAMES, help="benchmark model to submit")
+    source.add_argument("--graph", help="path to a serialized graph (.json node-list document)")
+    source.add_argument("--status", action="store_true", help="query the server's status counters")
+    source.add_argument("--shutdown", action="store_true", help="ask the server to shut down cleanly")
+    submit.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"))
+    submit.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="per-request TensatConfig override, repeatable (validated "
+             "server-side against the component registries)",
+    )
+    submit.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
+    submit.add_argument("--json", action="store_true", help="print the raw response as JSON")
+
     return parser
 
 
@@ -212,6 +268,85 @@ def _cmd_rules(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        cache_capacity=args.cache_capacity,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro service listening on {host}:{port}", flush=True)
+
+    status = run_server(service_config=config, ready=ready)
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        cache = status["cache"]
+        print(
+            f"service stopped after {status['uptime_seconds']}s: "
+            f"{sum(status['requests'].values())} requests, cache {cache['hits']} hits / "
+            f"{cache['misses']} misses / {cache['evictions']} evictions"
+        )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError, parse_overrides
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.status:
+            status = client.status()
+            if args.json:
+                print(json.dumps(status, indent=2))
+            else:
+                cache, queue = status["cache"], status["queue"]
+                print(
+                    f"up {status['uptime_seconds']}s, requests={status['requests']}, "
+                    f"cache hits={cache['hits']} misses={cache['misses']} "
+                    f"evictions={cache['evictions']} size={cache['size']}/{cache['capacity']}, "
+                    f"queue wait total {queue['queue_seconds_total']}s "
+                    f"(mean {queue['queue_seconds_mean']}s)"
+                )
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server shut down")
+            return 0
+        if args.model:
+            graph = build_model(args.model, args.scale)
+        elif args.graph:
+            graph = load_graph(args.graph)
+        else:
+            print("submit needs one of --model / --graph / --status / --shutdown", file=sys.stderr)
+            return 2
+        response = client.optimize(graph, config=parse_overrides(args.overrides))
+    except (ServiceError, ValueError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        save_graph(client.optimized_graph(response), args.output)
+    if args.json:
+        print(json.dumps(response, indent=2))
+    else:
+        stats = response["stats"]
+        print(
+            f"{response['graph'].get('name', 'graph')}: cost {response['original_cost_ms']:.4f} ms "
+            f"-> {response['optimized_cost_ms']:.4f} ms "
+            f"({stats.get('speedup_percent', 0.0):+.1f}%), cache {response['cache']}, "
+            f"queue {response['queue_seconds']:.3f}s, optimize {response['optimize_seconds']:.3f}s"
+        )
+        if args.output:
+            print(f"optimized graph written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -219,6 +354,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "models": _cmd_models,
         "rules": _cmd_rules,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

@@ -97,6 +97,7 @@ def optimize_many(
     observers: Sequence[object] = (),
     jobs: int = 1,
     executor: str = "thread",
+    shared_trie: Optional[TrieMatcher] = None,
     **config_overrides,
 ) -> List[OptimizationResult]:
     """Optimize several graphs under one configuration, sharing compiled state.
@@ -116,6 +117,12 @@ def optimize_many(
     thread mode; process mode runs workers detached and raises
     :class:`~repro.core.config.ConfigError` if observers are passed, rather
     than silently dropping their event stream.
+
+    ``shared_trie`` lets a long-lived caller (the optimization service)
+    pass in an already-compiled rule trie for ``rules`` under ``config``
+    instead of recompiling per call; it must come from
+    :func:`compile_shared_trie` (or a :meth:`~repro.egraph.machine.TrieMatcher.fork`
+    of its result) over the same rule set.
     """
     config = config if config is not None else TensatConfig()
     if config_overrides:
@@ -123,7 +130,8 @@ def optimize_many(
     cost_model = cost_model if cost_model is not None else AnalyticCostModel()
     rules = rules if rules is not None else default_ruleset()
     graphs = list(graphs)
-    shared_trie = compile_shared_trie(rules, config)
+    if shared_trie is None:
+        shared_trie = compile_shared_trie(rules, config)
 
     if jobs == 1:
         results: List[OptimizationResult] = []

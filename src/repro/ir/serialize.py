@@ -6,10 +6,14 @@ Two formats:
   e-graph uses; compact and human-readable.
 * **JSON** -- a node-list format that preserves node ids, outputs, and
   graph name; convenient for storing optimized graphs produced by the
-  benchmark harness or for interchange with external tools.
+  benchmark harness, for interchange with external tools, and as the wire
+  format of the optimization service (:mod:`repro.service`).
 
 Both round-trip through shape inference, so a deserialized graph is always
-re-validated.
+re-validated.  Malformed documents raise :class:`SerializeError` naming the
+offending field -- the service's input boundary relies on this to turn bad
+payloads into typed error responses instead of leaking ``KeyError`` /
+``TypeError`` from deep inside the builder.
 """
 
 from __future__ import annotations
@@ -21,15 +25,23 @@ from repro.egraph.language import RecExpr
 from repro.ir.convert import graph_to_recexpr, recexpr_to_graph
 from repro.ir.graph import GraphBuilder, TensorGraph
 from repro.ir.ops import OpKind
+from repro.ir.tensor import ShapeError
 
 __all__ = [
+    "SerializeError",
     "graph_to_sexpr_text",
     "graph_from_sexpr_text",
+    "graph_to_doc",
+    "graph_from_doc",
     "graph_to_json",
     "graph_from_json",
     "save_graph",
     "load_graph",
 ]
+
+
+class SerializeError(ValueError):
+    """A graph document is malformed; the message names the offending field."""
 
 
 def graph_to_sexpr_text(graph: TensorGraph) -> str:
@@ -43,38 +55,114 @@ def graph_from_sexpr_text(text: str, name: str = "graph") -> TensorGraph:
     return recexpr_to_graph(RecExpr.parse(text), name=name)
 
 
-def graph_to_json(graph: TensorGraph) -> str:
-    """Serialise ``graph`` as a JSON document (node list + outputs + name)."""
-    nodes = []
+def graph_to_doc(graph: TensorGraph) -> Dict[str, object]:
+    """The JSON-compatible node-list document for ``graph``."""
+    nodes: List[Dict[str, object]] = []
     for node in graph.nodes:
         entry: Dict[str, object] = {"op": node.op.value, "inputs": list(node.inputs)}
         if node.value is not None:
             entry["value"] = node.value
         nodes.append(entry)
-    return json.dumps({"name": graph.name, "nodes": nodes, "outputs": list(graph.outputs)}, indent=2)
+    return {"name": graph.name, "nodes": nodes, "outputs": list(graph.outputs)}
+
+
+def graph_to_json(graph: TensorGraph) -> str:
+    """Serialise ``graph`` as a JSON document (node list + outputs + name)."""
+    return json.dumps(graph_to_doc(graph), indent=2)
+
+
+def _node_inputs(entry: Dict[str, object], index: int, id_map: Dict[int, int]) -> List[int]:
+    inputs = entry.get("inputs", [])
+    if not isinstance(inputs, list):
+        raise SerializeError(f"nodes[{index}].inputs: expected a list, got {type(inputs).__name__}")
+    resolved: List[int] = []
+    for position, ref in enumerate(inputs):
+        if isinstance(ref, bool) or not isinstance(ref, int):
+            raise SerializeError(
+                f"nodes[{index}].inputs[{position}]: expected a node index, got {ref!r}"
+            )
+        if ref not in id_map:
+            raise SerializeError(
+                f"nodes[{index}].inputs[{position}]: node {ref} does not precede node {index}"
+            )
+        resolved.append(id_map[ref])
+    return resolved
+
+
+def graph_from_doc(doc: object) -> TensorGraph:
+    """Rebuild a graph from a :func:`graph_to_doc` document.
+
+    Re-runs shape inference, so the result is always a valid graph; any
+    malformed field raises :class:`SerializeError` naming the field.
+    """
+    if not isinstance(doc, dict):
+        raise SerializeError(f"graph document: expected an object, got {type(doc).__name__}")
+    name = doc.get("name", "graph")
+    if not isinstance(name, str):
+        raise SerializeError(f"name: expected a string, got {type(name).__name__}")
+    raw_nodes = doc.get("nodes")
+    if not isinstance(raw_nodes, list):
+        raise SerializeError(
+            "nodes: expected a list"
+            + ("" if "nodes" in doc else " (field is missing)")
+        )
+    builder = GraphBuilder(name)
+    id_map: Dict[int, int] = {}
+    for index, entry in enumerate(raw_nodes):
+        if not isinstance(entry, dict):
+            raise SerializeError(f"nodes[{index}]: expected an object, got {type(entry).__name__}")
+        raw_op = entry.get("op")
+        if raw_op is None:
+            raise SerializeError(f"nodes[{index}].op: field is missing")
+        try:
+            op = OpKind(raw_op)
+        except ValueError:
+            raise SerializeError(f"nodes[{index}].op: unknown operator {raw_op!r}") from None
+        inputs = _node_inputs(entry, index, id_map)
+        value = entry.get("value")
+        try:
+            if op == OpKind.NUM:
+                new_id = builder.num(int(value))
+            elif op == OpKind.STR:
+                if not isinstance(value, str):
+                    raise SerializeError(
+                        f"nodes[{index}].value: str node needs a string value, got {value!r}"
+                    )
+                new_id = builder.string(value)
+            else:
+                from repro.ir.ops import op_symbol
+
+                symbol = op_symbol(op, num_inputs=len(inputs), value=value)
+                new_id = builder.add_symbol(symbol, inputs)
+        except SerializeError:
+            raise
+        except (TypeError, ValueError) as exc:
+            # ShapeError is a ValueError: inference rejected the node.  Bare
+            # TypeError/ValueError: a literal payload of the wrong type.
+            kind = "shape inference rejected the node" if isinstance(exc, ShapeError) else "invalid node"
+            raise SerializeError(f"nodes[{index}] ({raw_op}): {kind}: {exc}") from exc
+        id_map[index] = new_id
+    raw_outputs = doc.get("outputs")
+    if not isinstance(raw_outputs, list) or not raw_outputs:
+        raise SerializeError(
+            "outputs: expected a non-empty list"
+            + ("" if "outputs" in doc else " (field is missing)")
+        )
+    outputs: List[int] = []
+    for position, ref in enumerate(raw_outputs):
+        if isinstance(ref, bool) or not isinstance(ref, int) or ref not in id_map:
+            raise SerializeError(f"outputs[{position}]: {ref!r} is not a node of the graph")
+        outputs.append(id_map[ref])
+    return builder.finish(outputs=outputs)
 
 
 def graph_from_json(text: str) -> TensorGraph:
     """Rebuild a graph from :func:`graph_to_json` output (re-running shape inference)."""
-    doc = json.loads(text)
-    builder = GraphBuilder(doc.get("name", "graph"))
-    id_map: Dict[int, int] = {}
-    for index, entry in enumerate(doc["nodes"]):
-        op = OpKind(entry["op"])
-        inputs = [id_map[i] for i in entry["inputs"]]
-        value = entry.get("value")
-        if op == OpKind.NUM:
-            new_id = builder.num(int(value))
-        elif op == OpKind.STR:
-            new_id = builder.string(str(value))
-        else:
-            from repro.ir.ops import op_symbol
-
-            symbol = op_symbol(op, num_inputs=len(inputs), value=value)
-            new_id = builder.add_symbol(symbol, inputs)
-        id_map[index] = new_id
-    outputs = [id_map[o] for o in doc["outputs"]]
-    return builder.finish(outputs=outputs)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializeError(f"graph document: invalid JSON: {exc}") from exc
+    return graph_from_doc(doc)
 
 
 def save_graph(graph: TensorGraph, path: str, fmt: Optional[str] = None) -> None:

@@ -1,0 +1,100 @@
+"""The bounded LRU result cache of the optimization service.
+
+Keys are ``(graph fingerprint, config digest)`` pairs (both SHA-256 hex
+strings, see :mod:`repro.service.fingerprint`); values are
+:class:`CachedResult` -- the serialized optimized graph plus the run's
+stats, exactly what a cache-hit response needs and nothing that keeps
+e-graphs alive.  Hit/miss/eviction counters feed the server's status
+output and the load benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["CachedResult", "ResultCache"]
+
+#: A cache key: (graph fingerprint, config digest).
+CacheKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached optimization outcome.
+
+    The optimized graph is stored as its serialized JSON document text
+    (:func:`repro.ir.serialize.graph_to_doc`, dumped with sorted keys), so a
+    cache hit replays byte-identical content without holding live graph
+    objects, and the stats dict is the run's
+    :meth:`~repro.core.stats.OptimizationStats.as_dict` snapshot.
+    """
+
+    graph_json: str
+    stats: Dict[str, object]
+    original_cost: float
+    optimized_cost: float
+
+
+class ResultCache:
+    """A thread-safe, bounded LRU mapping with hit/miss/eviction counters.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used entry
+    once ``capacity`` is exceeded.  All operations are O(1).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value for ``key`` (refreshing recency), or ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when over capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe lifetime traffic)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits, misses, evictions, current size, capacity."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

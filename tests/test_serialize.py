@@ -6,8 +6,11 @@ from repro.backend import execute_graph, outputs_allclose
 from repro.ir.graph import GraphBuilder
 from repro.ir.ops import Activation, Padding
 from repro.ir.serialize import (
+    SerializeError,
+    graph_from_doc,
     graph_from_json,
     graph_from_sexpr_text,
+    graph_to_doc,
     graph_to_json,
     graph_to_sexpr_text,
     load_graph,
@@ -65,6 +68,96 @@ class TestJsonSerialization:
     def test_name_preserved(self):
         g2 = graph_from_json(graph_to_json(sample_graph()))
         assert g2.name == "sample"
+
+
+class TestMalformedDocuments:
+    """The service's input boundary: typed SerializeError naming the field."""
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SerializeError, match="invalid JSON"):
+            graph_from_json("{not json")
+
+    def test_document_must_be_object(self):
+        with pytest.raises(SerializeError, match="graph document"):
+            graph_from_doc([1, 2, 3])
+
+    def test_missing_nodes_field(self):
+        with pytest.raises(SerializeError, match="nodes.*missing"):
+            graph_from_doc({"outputs": [0]})
+
+    def test_nodes_must_be_list(self):
+        with pytest.raises(SerializeError, match="nodes: expected a list"):
+            graph_from_doc({"nodes": {"op": "input"}, "outputs": [0]})
+
+    def test_node_entry_must_be_object(self):
+        with pytest.raises(SerializeError, match=r"nodes\[0\]: expected an object"):
+            graph_from_doc({"nodes": ["input"], "outputs": [0]})
+
+    def test_missing_op_named(self):
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.op: field is missing"):
+            graph_from_doc({"nodes": [{"inputs": []}], "outputs": [0]})
+
+    def test_unknown_op_named(self):
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.op: unknown operator 'warp'"):
+            graph_from_doc({"nodes": [{"op": "warp", "inputs": []}], "outputs": [0]})
+
+    def test_inputs_must_be_list(self):
+        doc = {"nodes": [{"op": "num", "value": 1, "inputs": 0}], "outputs": [0]}
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.inputs: expected a list"):
+            graph_from_doc(doc)
+
+    def test_forward_input_reference_named(self):
+        doc = {
+            "nodes": [{"op": "relu", "inputs": [1]}, {"op": "num", "value": 1, "inputs": []}],
+            "outputs": [0],
+        }
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.inputs\[0\].*does not precede"):
+            graph_from_doc(doc)
+
+    def test_non_integer_input_reference_named(self):
+        doc = {"nodes": [{"op": "relu", "inputs": ["zero"]}], "outputs": [0]}
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.inputs\[0\]"):
+            graph_from_doc(doc)
+
+    def test_bad_literal_value_named(self):
+        doc = {"nodes": [{"op": "num", "value": "not-a-number", "inputs": []}], "outputs": [0]}
+        with pytest.raises(SerializeError, match=r"nodes\[0\] \(num\)"):
+            graph_from_doc(doc)
+
+    def test_str_node_needs_string_value(self):
+        doc = {"nodes": [{"op": "str", "value": 7, "inputs": []}], "outputs": [0]}
+        with pytest.raises(SerializeError, match=r"nodes\[0\]\.value"):
+            graph_from_doc(doc)
+
+    def test_shape_error_wrapped_with_node_index(self):
+        # matmul of incompatible shapes: inference must surface as
+        # SerializeError naming the node, not a raw ShapeError/KeyError.
+        doc = {
+            "nodes": [
+                {"op": "str", "value": "x@4 8", "inputs": []},
+                {"op": "input", "inputs": [0]},
+                {"op": "str", "value": "w@9 5", "inputs": []},
+                {"op": "weight", "inputs": [2]},
+                {"op": "num", "value": 0, "inputs": []},
+                {"op": "matmul", "inputs": [4, 1, 3]},
+            ],
+            "outputs": [5],
+        }
+        with pytest.raises(SerializeError, match=r"nodes\[5\] \(matmul\): shape inference"):
+            graph_from_doc(doc)
+
+    def test_missing_outputs_named(self):
+        with pytest.raises(SerializeError, match="outputs.*missing"):
+            graph_from_doc({"nodes": []})
+
+    def test_output_out_of_range_named(self):
+        doc = {"nodes": [{"op": "num", "value": 3, "inputs": []}], "outputs": [7]}
+        with pytest.raises(SerializeError, match=r"outputs\[0\]: 7 is not a node"):
+            graph_from_doc(doc)
+
+    def test_doc_roundtrip_matches_json_roundtrip(self):
+        g = sample_graph()
+        assert graph_to_doc(graph_from_doc(graph_to_doc(g))) == graph_to_doc(g)
 
 
 class TestFileIO:

@@ -157,12 +157,39 @@ def check_extraction_lockstep() -> list:
     return problems
 
 
+def check_service_lockstep() -> list:
+    """The ``serve`` CLI defaults stay in lockstep with ServiceConfig."""
+    from dataclasses import fields as dataclass_fields
+
+    from repro.service import ServiceConfig
+
+    problems = []
+    defaults = ServiceConfig()
+    subcommands = _subcommand_parsers(build_parser())
+    serve = subcommands.get("serve")
+    if serve is None:
+        return ["CLI has no 'serve' subcommand"]
+    cli_defaults = {a.dest: a.default for a in serve._actions}
+    for field in dataclass_fields(ServiceConfig):
+        if field.name not in cli_defaults:
+            problems.append(f"CLI 'serve' has no flag wired to ServiceConfig.{field.name}")
+        elif cli_defaults[field.name] != getattr(defaults, field.name):
+            problems.append(
+                f"CLI 'serve' default for {field.name} is {cli_defaults[field.name]!r} "
+                f"!= ServiceConfig().{field.name} == {getattr(defaults, field.name)!r}"
+            )
+    if "submit" not in subcommands:
+        problems.append("CLI has no 'submit' subcommand")
+    return problems
+
+
 def main() -> int:
     problems = (
         check_exports()
         + check_cli_choices()
         + check_config_snapshots()
         + check_extraction_lockstep()
+        + check_service_lockstep()
     )
     if problems:
         for problem in problems:
@@ -173,7 +200,8 @@ def main() -> int:
     print(
         f"ok: {len(repro.__all__)} exports import, {n_knobs} CLI strategy knobs "
         "match their registries, config snapshots consistent, extraction "
-        "deadline/prune/warm-start defaults in lockstep"
+        "deadline/prune/warm-start defaults in lockstep, serve flags match "
+        "ServiceConfig"
     )
     return 0
 

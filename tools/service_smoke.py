@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI smoke test for the optimization service daemon.
+
+Starts ``python -m repro serve`` as a real subprocess on an ephemeral port,
+submits the same model twice through the line-JSON protocol, asserts the
+second response is a cache hit with a byte-identical graph document, checks
+the status counters, and shuts the daemon down cleanly.  Exit code 0 means
+the whole daemon lifecycle works outside the test harness.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.models import build_model  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+READY_LINE = re.compile(r"repro service listening on (\S+):(\d+)")
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly annotation
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        # The serve command prints its listening address once bound.
+        deadline = time.monotonic() + 60.0
+        host, port = None, None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = READY_LINE.search(line)
+            if match:
+                host, port = match.group(1), int(match.group(2))
+                break
+        if port is None:
+            fail("daemon never printed its listening address")
+        print(f"daemon up on {host}:{port}")
+
+        client = ServiceClient(host=host, port=port, timeout=120.0)
+        if not client.ping():
+            fail("ping failed")
+
+        graph = build_model("nasrnn", "tiny")
+        first = client.optimize(graph=graph)
+        if first["cache"] != "miss":
+            fail(f"first submission should miss, got {first['cache']!r}")
+        second = client.optimize(graph=graph)
+        if second["cache"] != "hit":
+            fail(f"second submission should hit, got {second['cache']!r}")
+        if second["graph"] != first["graph"]:
+            fail("cache hit returned a different graph document")
+        if second["fingerprint"] != first["fingerprint"]:
+            fail("fingerprint changed between identical submissions")
+        print(
+            f"optimize ok: cost {first['original_cost_ms']:.3f} -> "
+            f"{first['optimized_cost_ms']:.3f} ms, second submission served from cache"
+        )
+
+        status = client.status()
+        if status["cache"]["hits"] != 1 or status["cache"]["misses"] != 1:
+            fail(f"unexpected cache counters: {status['cache']}")
+        if status["requests"].get("optimize") != 2:
+            fail(f"unexpected request counters: {status['requests']}")
+        print(f"status ok: {status['cache']}")
+
+        client.shutdown()
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit after shutdown request")
+        if proc.returncode != 0:
+            fail(f"daemon exited with code {proc.returncode}")
+        print("clean shutdown; smoke test passed")
+        return 0
+    except ServiceError as exc:
+        fail(f"service error: {exc}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
