@@ -1,0 +1,108 @@
+"""Benchmark for the ONNX import front door.
+
+Imports the two tiny checked-in ONNX models (``tests/data/onnx/``), runs
+each through the full TENSAT pipeline (import -> saturation -> extraction),
+and round-trips one of them through the optimization service daemon so
+imported models exercise the exact path external users take:
+
+* per-model import time, node counts, original/optimized cost, speedup;
+* service submission: a cache miss (first submission) and a canonical-
+  fingerprint cache hit (identical resubmission under renamed node ids is
+  covered by the service test suite; here we resubmit verbatim).
+
+The regenerated table puts imported models side by side with the registry
+benchmarks' reporting format, so ``benchmarks/results/onnx_import.json``
+is the machine-readable record that imported models optimize end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict
+
+from benchmarks.common import cost_model, format_table, write_result
+from repro.core import TensatConfig, optimize
+from repro.models import load_onnx_model
+from repro.service import ServiceClient, ServiceConfig
+from repro.service.server import ServerThread
+
+ONNX_DIR = Path(__file__).parent.parent / "tests" / "data" / "onnx"
+
+MODELS = ["mlp_tiny", "convnet_tiny"]
+
+CONFIG = TensatConfig(node_limit=2_000, iter_limit=5, k_multi=1, extraction="greedy")
+
+
+def bench_model(name: str) -> Dict[str, object]:
+    path = ONNX_DIR / f"{name}.onnx"
+    start = time.perf_counter()
+    graph = load_onnx_model(path)
+    import_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = optimize(graph, cost_model=cost_model(), config=CONFIG)
+    optimize_seconds = time.perf_counter() - start
+
+    return {
+        "model": name,
+        "source": f"tests/data/onnx/{name}.onnx",
+        "compute_nodes": sum(1 for n in graph.nodes if n.op.is_compute),
+        "import_seconds": import_seconds,
+        "original_cost_ms": result.stats.original_cost,
+        "optimized_cost_ms": result.stats.optimized_cost,
+        "speedup_percent": result.speedup_percent,
+        "optimize_seconds": optimize_seconds,
+        "stop_reason": result.stats.stop_reason,
+    }
+
+
+def bench_service(name: str) -> Dict[str, object]:
+    """Submit an imported model to a resident daemon: one miss, one hit."""
+    graph = load_onnx_model(ONNX_DIR / f"{name}.onnx")
+    with ServerThread(service_config=ServiceConfig(port=0)) as server:
+        client = ServiceClient(port=server.port)
+        miss = client.optimize(graph=graph)
+        hit = client.optimize(graph=graph)
+        client.shutdown()
+    assert miss["cache"] == "miss" and hit["cache"] == "hit"
+    return {
+        "model": name,
+        "miss_cache": miss["cache"],
+        "miss_optimize_seconds": miss["optimize_seconds"],
+        "hit_cache": hit["cache"],
+        "optimized_cost_ms": miss["optimized_cost_ms"],
+    }
+
+
+def main() -> None:
+    runs = [bench_model(name) for name in MODELS]
+    service = bench_service(MODELS[-1])
+
+    rows = [
+        (
+            run["model"],
+            run["compute_nodes"],
+            f"{run['import_seconds'] * 1000.0:.1f}",
+            f"{run['original_cost_ms']:.4f}",
+            f"{run['optimized_cost_ms']:.4f}",
+            f"{run['speedup_percent']:+.1f}%",
+            run["stop_reason"],
+        )
+        for run in runs
+    ]
+    table = format_table(
+        ["model", "nodes", "import ms", "orig ms", "opt ms", "speedup", "stop"], rows
+    )
+    text = (
+        "ONNX import benchmark (import -> optimize -> extract)\n\n"
+        + table
+        + "\n\nservice round-trip ("
+        + f"{service['model']}): first submit {service['miss_cache']} "
+        + f"in {service['miss_optimize_seconds']:.3f}s, resubmit {service['hit_cache']}"
+    )
+    write_result("onnx_import", text, data={"models": runs, "service": service})
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,8 @@ from repro.core.registry import (
 from repro.core.session import OptimizationSession
 from repro.core.stats import OptimizationStats
 from repro.ir.graph import GraphBuilder, TensorGraph
+from repro.ir.onnx_import import OnnxImportError, import_onnx
+from repro.ir.opspec import OPS, OpSpec, UnknownOperatorError, register_concat
 from repro.ir.tensor import TensorShape
 from repro.service import (
     ResultCache,
@@ -109,5 +111,12 @@ __all__ = [
     "GraphBuilder",
     "TensorGraph",
     "TensorShape",
+    # Operator-spec registry + ONNX front door
+    "OPS",
+    "OpSpec",
+    "UnknownOperatorError",
+    "register_concat",
+    "import_onnx",
+    "OnnxImportError",
     "__version__",
 ]

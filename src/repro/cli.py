@@ -4,11 +4,14 @@ Examples::
 
     python -m repro optimize --model nasrnn --scale tiny
     python -m repro optimize --model bert --scale small --k-multi 2 --extraction ilp
+    python -m repro optimize --onnx model.onnx --fix-dim batch=1
+    python -m repro import --onnx model.onnx --output model.json
     python -m repro compare --model squeezenet --scale tiny --taso-budget 30
     python -m repro models
     python -m repro rules --tag merge
     python -m repro serve --port 8077
     python -m repro submit --model nasrnn --scale tiny --set extraction=greedy
+    python -m repro submit --onnx model.onnx --set extraction=greedy
 """
 
 from __future__ import annotations
@@ -31,8 +34,8 @@ from repro.core.registry import (
     SHAPE_ANALYSES,
 )
 from repro.costs import AnalyticCostModel
-from repro.ir.serialize import load_graph, save_graph
-from repro.models import MODEL_NAMES, build_model
+from repro.ir.serialize import graph_to_doc, load_graph, save_graph
+from repro.models import MODEL_NAMES, build_model, load_onnx_model, parse_dim_overrides
 from repro.rules import default_ruleset
 from repro.service.server import ServiceConfig
 
@@ -57,8 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", required=True, choices=MODEL_NAMES, help="benchmark model to optimize")
         p.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"))
 
+    def add_fix_dim(p):
+        p.add_argument(
+            "--fix-dim", dest="fix_dims", action="append", default=[], metavar="NAME=VALUE",
+            help="pin a symbolic ONNX input dimension (dim_param), repeatable, "
+                 "e.g. --fix-dim batch=1",
+        )
+
     opt = sub.add_parser("optimize", help="optimize one model graph with TENSAT")
-    add_model_args(opt)
+    opt_source = opt.add_mutually_exclusive_group(required=True)
+    opt_source.add_argument("--model", choices=MODEL_NAMES, help="benchmark model to optimize")
+    opt_source.add_argument("--onnx", metavar="FILE", help="import this ONNX model and optimize it")
+    opt.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"))
+    add_fix_dim(opt)
     opt.add_argument("--k-multi", type=int, default=1, help="iterations of multi-pattern rewrites")
     opt.add_argument("--node-limit", type=int, default=5_000)
     opt.add_argument("--iter-limit", type=int, default=8)
@@ -124,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--output", help="write the optimized graph to this path (.json or .sexpr)")
     opt.add_argument("--json", action="store_true", help="print machine-readable stats")
 
+    imp = sub.add_parser("import", help="import an ONNX model and print / save the tensor-graph IR")
+    imp.add_argument("--onnx", required=True, metavar="FILE", help="path to the .onnx file")
+    imp.add_argument("--name", help="override the imported graph's name")
+    add_fix_dim(imp)
+    imp.add_argument("--output", help="write the imported graph to this path (.json or .sexpr)")
+    imp.add_argument("--json", action="store_true", help="print the node-list document as JSON")
+
     cmp = sub.add_parser("compare", help="compare TENSAT against the TASO-style backtracking baseline")
     add_model_args(cmp)
     cmp.add_argument("--k-multi", type=int, default=1)
@@ -173,9 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     source = submit.add_mutually_exclusive_group()
     source.add_argument("--model", choices=MODEL_NAMES, help="benchmark model to submit")
     source.add_argument("--graph", help="path to a serialized graph (.json node-list document)")
+    source.add_argument("--onnx", metavar="FILE", help="import this ONNX model and submit it")
     source.add_argument("--status", action="store_true", help="query the server's status counters")
     source.add_argument("--shutdown", action="store_true", help="ask the server to shut down cleanly")
     submit.add_argument("--scale", default="tiny", choices=("tiny", "small", "full"))
+    add_fix_dim(submit)
     submit.add_argument(
         "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
         help="per-request TensatConfig override, repeatable (validated "
@@ -211,9 +234,45 @@ def _config_from_args(args) -> TensatConfig:
     )
 
 
+def _load_onnx_arg(args):
+    """Import the graph named by ``--onnx`` / ``--fix-dim``; raises OnnxImportError."""
+    name = getattr(args, "name", None)
+    return load_onnx_model(
+        args.onnx, name=name, dim_overrides=parse_dim_overrides(args.fix_dims)
+    )
+
+
+def _cmd_import(args) -> int:
+    from repro.ir.onnx_import import OnnxImportError
+
+    try:
+        graph = _load_onnx_arg(args)
+    except OnnxImportError as exc:
+        print(f"import failed: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        save_graph(graph, args.output)
+    if args.json:
+        print(json.dumps(graph_to_doc(graph), indent=2))
+    else:
+        print(graph.describe())
+        for out in graph.outputs:
+            node = graph.nodes[out]
+            print(f"  output {node.symbol} {node.data}")
+        if args.output:
+            print(f"imported graph written to {args.output}")
+    return 0
+
+
 def _cmd_optimize(args) -> int:
+    from repro.ir.onnx_import import OnnxImportError
+
     cost_model = AnalyticCostModel()
-    graph = build_model(args.model, args.scale)
+    try:
+        graph = _load_onnx_arg(args) if args.onnx else build_model(args.model, args.scale)
+    except OnnxImportError as exc:
+        print(f"import failed: {exc}", file=sys.stderr)
+        return 1
     result = optimize(graph, cost_model=cost_model, config=_config_from_args(args))
     if args.output:
         save_graph(result.optimized, args.output)
@@ -323,8 +382,17 @@ def _cmd_submit(args) -> int:
             graph = build_model(args.model, args.scale)
         elif args.graph:
             graph = load_graph(args.graph)
+        elif args.onnx:
+            from repro.ir.onnx_import import OnnxImportError
+
+            try:
+                graph = _load_onnx_arg(args)
+            except OnnxImportError as exc:
+                print(f"import failed: {exc}", file=sys.stderr)
+                return 1
         else:
-            print("submit needs one of --model / --graph / --status / --shutdown", file=sys.stderr)
+            print("submit needs one of --model / --graph / --onnx / --status / --shutdown",
+                  file=sys.stderr)
             return 2
         response = client.optimize(graph, config=parse_overrides(args.overrides))
     except (ServiceError, ValueError) as exc:
@@ -351,6 +419,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "optimize": _cmd_optimize,
+        "import": _cmd_import,
         "compare": _cmd_compare,
         "models": _cmd_models,
         "rules": _cmd_rules,

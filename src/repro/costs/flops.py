@@ -3,26 +3,33 @@
 These functions compute the arithmetic work and memory traffic of a single
 operator from its operands' metadata.  They are deliberately simple: the cost
 model only needs to rank graphs consistently, not predict absolute runtimes.
+
+The per-operator arithmetic lives on each operator's
+:class:`~repro.ir.opspec.OpSpec` (its ``flops`` / ``op_bytes`` fields);
+:func:`op_flops` and :func:`op_bytes` dispatch through the
+:data:`~repro.ir.opspec.OPS` registry.  The original per-symbol if/elif
+chains survive below as :func:`op_flops_spec` / :func:`op_bytes_spec` --
+executable specifications pinned verdict-by-verdict against the registry
+dispatch by ``tests/test_opspec.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.ir.ops import Activation, OpKind, symbol_to_op
+from repro.ir.opspec import FLOAT_BYTES, op_bytes, op_flops  # noqa: F401  (front door)
 from repro.ir.tensor import DataKind, TensorData
 
-__all__ = ["op_flops", "op_bytes", "FLOAT_BYTES"]
-
-FLOAT_BYTES = 4  # FP32
+__all__ = ["op_flops", "op_bytes", "op_flops_spec", "op_bytes_spec", "FLOAT_BYTES"]
 
 
 def _tensor_children(children: Sequence[TensorData]) -> list:
     return [c for c in children if c.kind == DataKind.TENSOR]
 
 
-def op_flops(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
-    """Floating point operations performed by the operator."""
+def op_flops_spec(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
+    """Executable spec: the original if/elif chain for :func:`op_flops`."""
     op, _ = symbol_to_op(symbol)
 
     if op == OpKind.MATMUL:
@@ -59,8 +66,8 @@ def op_flops(symbol: str, children: Sequence[TensorData], output: TensorData) ->
     return 0.0
 
 
-def op_bytes(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
-    """Bytes read plus bytes written by the operator."""
+def op_bytes_spec(symbol: str, children: Sequence[TensorData], output: TensorData) -> float:
+    """Executable spec: the original if/elif chain for :func:`op_bytes`."""
     op, _ = symbol_to_op(symbol)
 
     if op in (OpKind.NUM, OpKind.STR, OpKind.INPUT, OpKind.WEIGHT, OpKind.NOOP):

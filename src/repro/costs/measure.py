@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.costs.model import CostModel, INVALID_COST
 from repro.ir.ops import OpKind, symbol_to_op
-from repro.ir.shapes import infer_symbol
+from repro.ir.opspec import infer_symbol
 from repro.ir.tensor import DataKind, ShapeError, TensorData
 
 __all__ = ["MeasuredCostModel"]

@@ -12,11 +12,10 @@ import math
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.costs.device import DeviceProfile, T4
-from repro.costs.flops import op_bytes, op_flops
 from repro.egraph.egraph import EGraph
 from repro.egraph.language import ENode
-from repro.ir.ops import OpKind, symbol_to_op
-from repro.ir.shapes import infer_symbol
+from repro.ir.ops import OpKind
+from repro.ir.opspec import OPS, infer_symbol, op_bytes, op_flops
 from repro.ir.tensor import DataKind, ShapeError, TensorData
 
 __all__ = ["CostModel", "AnalyticCostModel", "TableCostModel", "INVALID_COST"]
@@ -102,7 +101,10 @@ class AnalyticCostModel(CostModel):
         children: Sequence[TensorData],
         output: Optional[TensorData] = None,
     ) -> float:
-        op, _ = symbol_to_op(symbol)
+        spec = OPS.for_symbol(symbol)
+        if spec is None:  # literal symbols (num/str payloads) are free
+            return 0.0
+        op = spec.kind
         if op in self.FREE_OPS:
             return 0.0
         if output is None:
@@ -152,7 +154,7 @@ class TableCostModel(CostModel):
             return self.table[symbol]
         if self.fallback is not None:
             return self.fallback.op_cost(symbol, children, output)
-        op, _ = symbol_to_op(symbol)
-        if not op.is_compute:
+        spec = OPS.for_symbol(symbol)
+        if spec is None or not spec.is_compute:
             return 0.0
         return self.default

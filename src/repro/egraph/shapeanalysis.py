@@ -41,7 +41,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.egraph.analysis import Analysis
-from repro.ir.shapes import infer_symbol
+from repro.ir.opspec import infer_symbol
 from repro.ir.tensor import DataKind, ShapeError, TensorData
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only

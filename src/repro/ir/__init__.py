@@ -7,7 +7,9 @@ and activation modes) are integer- or string-typed nodes, and ``input`` /
 """
 
 from repro.ir.graph import GraphBuilder, Node, TensorGraph
+from repro.ir.onnx_import import OnnxImportError, import_onnx, onnx_coverage
 from repro.ir.ops import Activation, OpKind, Padding
+from repro.ir.opspec import OPS, OpRegistry, OpSpec, UnknownOperatorError, register_concat
 from repro.ir.tensor import DataKind, ShapeError, TensorData, TensorShape
 
 __all__ = [
@@ -21,4 +23,12 @@ __all__ = [
     "TensorData",
     "TensorShape",
     "ShapeError",
+    "OPS",
+    "OpSpec",
+    "OpRegistry",
+    "UnknownOperatorError",
+    "register_concat",
+    "import_onnx",
+    "onnx_coverage",
+    "OnnxImportError",
 ]

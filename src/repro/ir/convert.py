@@ -22,7 +22,7 @@ from repro.egraph.language import ENode, RecExpr
 from repro.egraph.shapeanalysis import TensorShapeAnalysis
 from repro.ir.graph import Node, TensorGraph
 from repro.ir.ops import OpKind, symbol_to_op
-from repro.ir.shapes import infer_symbol
+from repro.ir.opspec import infer_symbol
 
 __all__ = ["graph_to_recexpr", "recexpr_to_graph", "TensorAnalysis", "egraph_from_graph"]
 
@@ -64,17 +64,26 @@ def graph_to_recexpr(graph: TensorGraph) -> Tuple[RecExpr, Dict[int, int]]:
 # ---------------------------------------------------------------------- #
 
 
-def recexpr_to_graph(expr: RecExpr, name: str = "extracted") -> TensorGraph:
+def recexpr_to_graph(expr: RecExpr, name: str = "extracted", strict: bool = True) -> TensorGraph:
     """Parse a term back into a :class:`TensorGraph`, re-running shape inference.
 
     ``noop`` nodes forming the single-rooting spine are stripped and their
     non-noop leaves become the graph outputs (in left-to-right order).
+
+    By default symbols resolve *strictly*: a symbol that is neither a
+    registered operator nor a recognisable literal (an integer, a
+    ``name@dims`` identifier, or an integer-list string) raises
+    :class:`~repro.ir.opspec.UnknownOperatorError` instead of silently
+    becoming a string-literal node -- extracted terms and serialized files
+    only ever contain known symbols, so an unknown one is a typo'd rule
+    target or a corrupted document.  Pass ``strict=False`` for the
+    historical lenient behaviour.
     """
     nodes: List[Node] = []
     index_to_id: Dict[int, int] = {}
 
     for i, enode in enumerate(expr.nodes):
-        op, literal = symbol_to_op(enode.op)
+        op, literal = symbol_to_op(enode.op, strict=strict)
         inputs = tuple(index_to_id[c] for c in enode.children)
         children_data = [nodes[c].data for c in inputs]
         data = infer_symbol(enode.op, children_data)

@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.ir.ops import Activation, CONCAT_MAX_INPUTS, OpKind, Padding, op_symbol
-from repro.ir.shapes import infer_symbol
+from repro.ir.ops import Activation, OpKind, Padding, op_symbol
+from repro.ir.opspec import OPS, infer_symbol
 from repro.ir.tensor import DataKind, ShapeError, TensorData, TensorShape, format_identifier
 
 __all__ = ["Node", "TensorGraph", "GraphBuilder"]
@@ -234,11 +234,16 @@ class GraphBuilder:
         """Inferred metadata of a node already in the builder."""
         return self._nodes[node_id].data
 
-    def add_symbol(self, symbol: str, inputs: Sequence[int] = ()) -> int:
-        """Add a node by its e-graph operator symbol (used when materialising patterns)."""
+    def add_symbol(self, symbol: str, inputs: Sequence[int] = (), strict: bool = False) -> int:
+        """Add a node by its e-graph operator symbol (used when materialising patterns).
+
+        ``strict=True`` raises :class:`~repro.ir.opspec.UnknownOperatorError`
+        for symbols that are neither registered operators nor recognisable
+        literals, instead of silently interning a string node.
+        """
         from repro.ir.ops import symbol_to_op
 
-        op, literal = symbol_to_op(symbol)
+        op, literal = symbol_to_op(symbol, strict=strict)
         return self._intern(op, tuple(inputs), literal)
 
     def import_node(self, graph: "TensorGraph", node_id: int, mapping: Dict[int, int]) -> int:
@@ -368,11 +373,17 @@ class GraphBuilder:
         return self._intern(OpKind.ENLARGE, (x, ref))
 
     def concat(self, axis: int, *tensors: int) -> int:
-        """Concatenate two or more tensors along ``axis``."""
+        """Concatenate two or more tensors along ``axis``.
+
+        The maximum arity is the registry's concat symbol family
+        (``OPS.concat_max_inputs``, default 8); widen it with
+        :func:`repro.ir.opspec.register_concat`.
+        """
         if len(tensors) < 2:
             raise ValueError("concat needs at least two tensors")
-        if len(tensors) > CONCAT_MAX_INPUTS:
-            raise ValueError(f"concat of {len(tensors)} tensors unsupported (max {CONCAT_MAX_INPUTS})")
+        max_inputs = OPS.concat_max_inputs
+        if len(tensors) > max_inputs:
+            raise ValueError(f"concat of {len(tensors)} tensors unsupported (max {max_inputs})")
         return self._intern(OpKind.CONCAT, (self.num(axis),) + tuple(tensors))
 
     def split(self, axis: int, x: int) -> Tuple[int, int]:

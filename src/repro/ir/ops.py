@@ -4,18 +4,23 @@ Activation and padding modes are encoded as integers (Table 2: "padding and
 activation modes (by representing different modes using different integers)").
 Variable-length parameters -- axis permutations, target shapes, tensor
 identifiers -- are strings.
+
+This module owns only the *enumerations*; everything an operator *does* --
+its e-graph symbol family, operand signature, shape inference, FLOP/byte
+accounting, serialization name, ONNX mapping -- lives in one
+:class:`~repro.ir.opspec.OpSpec` per operator inside the
+:data:`repro.ir.opspec.OPS` registry.  :func:`op_symbol` and
+:func:`symbol_to_op` remain the stable front door and delegate to the
+registry (lazily imported: :mod:`repro.ir.opspec` imports the enums from
+here, so the dependency must point one way only).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 __all__ = ["OpKind", "Activation", "Padding", "op_symbol", "symbol_to_op", "CONCAT_MAX_INPUTS"]
-
-#: ``concat`` needs a fixed arity per e-graph symbol (Table 2 note d); we
-#: generate ``concat2`` .. ``concat{CONCAT_MAX_INPUTS}``.
-CONCAT_MAX_INPUTS = 8
 
 
 class Activation(enum.IntEnum):
@@ -86,46 +91,51 @@ class OpKind(enum.Enum):
         return not (self.is_literal or self.is_identifier or self == OpKind.NOOP)
 
 
+_OPSPEC = None
+
+
+def _ops():
+    """The OPS registry, imported lazily to keep ops -> opspec one-way."""
+    global _OPSPEC
+    if _OPSPEC is None:
+        from repro.ir import opspec
+
+        _OPSPEC = opspec
+    return _OPSPEC.OPS
+
+
 def op_symbol(op: "OpKind", num_inputs: Optional[int] = None, value: object = None) -> str:
     """E-graph operator symbol for an IR node.
 
     * literal nodes use their value as the symbol (``"1"``, ``"0 2 1 3"``),
     * ``concat`` is specialised by tensor arity (``concat2``, ``concat3``, ...),
     * every other operator uses its lowercase name.
+
+    The mapping is owned by each operator's :class:`~repro.ir.opspec.OpSpec`
+    (its ``symbol_of`` field); this function dispatches through the registry.
     """
-    if op == OpKind.NUM:
-        return str(int(value))
-    if op == OpKind.STR:
-        return str(value)
-    if op == OpKind.CONCAT:
-        if num_inputs is None:
-            raise ValueError("concat needs num_inputs to determine its e-graph symbol")
-        n_tensors = num_inputs - 1  # first input is the axis
-        if not 2 <= n_tensors <= CONCAT_MAX_INPUTS:
-            raise ValueError(f"concat of {n_tensors} tensors unsupported (max {CONCAT_MAX_INPUTS})")
-        return f"concat{n_tensors}"
-    return op.value
+    return _ops().op_symbol(op, num_inputs=num_inputs, value=value)
 
 
-_SYMBOL_TABLE: Dict[str, OpKind] = {
-    op.value: op
-    for op in OpKind
-    if op not in (OpKind.NUM, OpKind.STR, OpKind.CONCAT)
-}
-for _n in range(2, CONCAT_MAX_INPUTS + 1):
-    _SYMBOL_TABLE[f"concat{_n}"] = OpKind.CONCAT
-
-
-def symbol_to_op(symbol: str) -> Tuple[OpKind, object]:
+def symbol_to_op(symbol: str, strict: bool = False) -> Tuple[OpKind, object]:
     """Inverse of :func:`op_symbol`: map an e-graph symbol to ``(OpKind, literal value)``.
 
-    Unknown symbols are classified as literals: integers become ``NUM`` nodes,
-    everything else becomes a ``STR`` node.
+    Unknown symbols are classified as literals: integers become ``NUM`` nodes
+    and -- in the default lenient mode -- everything else becomes a ``STR``
+    node.  With ``strict=True`` only symbols that look like genuine string
+    payloads (tensor identifiers, integer-list literals) are accepted; any
+    other unknown symbol raises
+    :class:`~repro.ir.opspec.UnknownOperatorError` instead of silently
+    becoming a string node.  The strict path is used when materialising
+    extracted terms and when parsing serialized documents, where an unknown
+    symbol means a typo'd rule target or a corrupted file.
     """
-    op = _SYMBOL_TABLE.get(symbol)
-    if op is not None:
-        return op, None
-    try:
-        return OpKind.NUM, int(symbol)
-    except ValueError:
-        return OpKind.STR, symbol
+    return _ops().resolve_symbol(symbol, strict=strict)
+
+
+def __getattr__(name: str):
+    # CONCAT_MAX_INPUTS used to be a module constant; the concat arity family
+    # is now owned by the registry, so read through to it (PEP 562).
+    if name == "CONCAT_MAX_INPUTS":
+        return _ops().concat_max_inputs
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

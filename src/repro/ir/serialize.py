@@ -25,10 +25,12 @@ from repro.egraph.language import RecExpr
 from repro.ir.convert import graph_to_recexpr, recexpr_to_graph
 from repro.ir.graph import GraphBuilder, TensorGraph
 from repro.ir.ops import OpKind
+from repro.ir.opspec import OPS, UnknownOperatorError
 from repro.ir.tensor import ShapeError
 
 __all__ = [
     "SerializeError",
+    "valid_ops",
     "graph_to_sexpr_text",
     "graph_from_sexpr_text",
     "graph_to_doc",
@@ -44,6 +46,16 @@ class SerializeError(ValueError):
     """A graph document is malformed; the message names the offending field."""
 
 
+def valid_ops() -> tuple:
+    """Operator names accepted in the ``op`` field of graph documents.
+
+    Derived from the :data:`~repro.ir.opspec.OPS` registry (its serialization
+    names), so registering a new operator makes it serializable with no
+    change here -- ``tools/check_api.py`` pins this lockstep.
+    """
+    return OPS.names()
+
+
 def graph_to_sexpr_text(graph: TensorGraph) -> str:
     """Serialise ``graph`` as a single-rooted S-expression string."""
     expr, _ = graph_to_recexpr(graph)
@@ -51,8 +63,15 @@ def graph_to_sexpr_text(graph: TensorGraph) -> str:
 
 
 def graph_from_sexpr_text(text: str, name: str = "graph") -> TensorGraph:
-    """Parse a graph back from its S-expression text."""
-    return recexpr_to_graph(RecExpr.parse(text), name=name)
+    """Parse a graph back from its S-expression text.
+
+    Symbols resolve strictly: an unknown operator symbol raises
+    :class:`SerializeError` instead of silently becoming a string node.
+    """
+    try:
+        return recexpr_to_graph(RecExpr.parse(text), name=name, strict=True)
+    except UnknownOperatorError as exc:
+        raise SerializeError(f"sexpr document: {exc}") from exc
 
 
 def graph_to_doc(graph: TensorGraph) -> Dict[str, object]:
@@ -114,10 +133,10 @@ def graph_from_doc(doc: object) -> TensorGraph:
         raw_op = entry.get("op")
         if raw_op is None:
             raise SerializeError(f"nodes[{index}].op: field is missing")
-        try:
-            op = OpKind(raw_op)
-        except ValueError:
-            raise SerializeError(f"nodes[{index}].op: unknown operator {raw_op!r}") from None
+        spec = OPS.from_name(raw_op) if isinstance(raw_op, str) else None
+        if spec is None:
+            raise SerializeError(f"nodes[{index}].op: unknown operator {raw_op!r}")
+        op = spec.kind
         inputs = _node_inputs(entry, index, id_map)
         value = entry.get("value")
         try:

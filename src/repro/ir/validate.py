@@ -18,7 +18,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.ir.graph import TensorGraph
 from repro.ir.ops import OpKind
-from repro.ir.shapes import infer_symbol
+from repro.ir.opspec import infer_symbol
 from repro.ir.tensor import ShapeError
 
 __all__ = ["ValidationError", "validate_graph", "check_same_interface", "reachable_from_outputs"]

@@ -10,6 +10,13 @@ input, concat/split plumbing, activation placement) -- with a ``scale`` knob
 reproduction stays tractable.
 """
 
+from repro.models.onnx_models import load_onnx_model, parse_dim_overrides
 from repro.models.registry import MODEL_NAMES, build_model, model_registry
 
-__all__ = ["build_model", "model_registry", "MODEL_NAMES"]
+__all__ = [
+    "build_model",
+    "model_registry",
+    "MODEL_NAMES",
+    "load_onnx_model",
+    "parse_dim_overrides",
+]

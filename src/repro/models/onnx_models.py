@@ -1,0 +1,61 @@
+"""Imported (ONNX) models as first-class benchmark graphs.
+
+The built-in models in :mod:`repro.models.registry` are constructed
+programmatically; this module is the front door for graphs that arrive from
+outside as serialized ONNX files.  :func:`load_onnx_model` wraps
+:func:`repro.ir.onnx_import.import_onnx` with model-layer conveniences --
+a default graph name derived from the file stem and ``NAME=VALUE`` symbolic
+dimension overrides in string form (the shape the CLI's ``--fix-dim`` flag
+collects) -- so CLI handlers and benchmarks can treat an imported model
+exactly like a registry one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from repro.ir.graph import TensorGraph
+from repro.ir.onnx_import import OnnxImportError, import_onnx
+
+__all__ = ["load_onnx_model", "parse_dim_overrides"]
+
+
+def parse_dim_overrides(pairs: Sequence[str]) -> Dict[str, int]:
+    """Parse ``NAME=VALUE`` strings (the CLI's repeatable ``--fix-dim``) into
+    the ``dim_overrides`` mapping :func:`import_onnx` expects.
+
+    Raises :class:`OnnxImportError` on malformed entries so CLI handlers can
+    funnel every import-path failure through one typed exception.
+    """
+    overrides: Dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise OnnxImportError(
+                f"--fix-dim expects NAME=VALUE, got {pair!r}"
+            )
+        try:
+            overrides[name] = int(value)
+        except ValueError:
+            raise OnnxImportError(
+                f"--fix-dim {name}: value must be an integer, got {value!r}"
+            ) from None
+    return overrides
+
+
+def load_onnx_model(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    dim_overrides: Optional[Mapping[str, int]] = None,
+) -> TensorGraph:
+    """Import the ONNX model at ``path`` as a :class:`TensorGraph`.
+
+    The graph name defaults to the model's embedded graph name, falling back
+    to the file stem (``models/mlp_tiny.onnx`` -> ``mlp_tiny``), so
+    downstream reports always have something readable.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise OnnxImportError(f"ONNX file not found: {path}")
+    return import_onnx(path, name=name, dim_overrides=dict(dim_overrides or {}))

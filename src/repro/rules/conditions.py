@@ -32,7 +32,7 @@ from repro.egraph.ematch import Match
 from repro.egraph.multipattern import MultiMatch
 from repro.egraph.pattern import Pattern, PatternNode, PatternTerm, PatternVar
 from repro.egraph.shapeanalysis import intern_data
-from repro.ir.shapes import infer_symbol
+from repro.ir.opspec import infer_symbol
 from repro.ir.tensor import DataKind, ShapeError, TensorData
 
 __all__ = [

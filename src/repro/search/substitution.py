@@ -146,7 +146,9 @@ def _build_pattern(
     if isinstance(term, PatternVar):
         return mapping[subst[term.name]]
     children = [_build_pattern(builder, c, subst, mapping) for c in term.children]
-    return builder.add_symbol(term.op, children)
+    # Strict: a rule target naming an unregistered operator is a bug in the
+    # rule library, not a string literal -- fail loudly.
+    return builder.add_symbol(term.op, children, strict=True)
 
 
 def apply_to_graph(graph: TensorGraph, rule: Rule, match: GraphMatch) -> Optional[TensorGraph]:

@@ -27,9 +27,11 @@ into a canonical form:
   processes and Python versions (pinned by ``tests/test_fingerprint.py``).
 
 :func:`config_digest` is the second half of the cache key: a stable digest
-of every :class:`~repro.core.config.TensatConfig` field plus the rule-set
-and cost-model identity, so results computed under different configurations
-never alias.
+of every :class:`~repro.core.config.TensatConfig` field plus the rule-set,
+cost-model, and *registered operator set* identity (symbol families and
+serialization names from :data:`repro.ir.opspec.OPS`), so results computed
+under different configurations -- or under a different operator table, e.g.
+a widened concat family or a plugin-registered op -- never alias.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import TensatConfig
 from repro.ir.graph import TensorGraph
 from repro.ir.ops import OpKind
+from repro.ir.opspec import OPS
 
 __all__ = ["canonical_form", "config_digest", "graph_fingerprint"]
 
@@ -124,7 +127,10 @@ def config_digest(
     (``search_jobs``, timing limits, ...) still separate cache entries.
     ``rules`` may be a :class:`~repro.rules.library.RuleSet` (its rule names
     are digested) and ``cost_model`` any cost model (its class identity is
-    digested); ``None`` stands for the service defaults.
+    digested); ``None`` stands for the service defaults.  The registered
+    operator set always enters the digest: a result cached under one op
+    table (say ``concat2..concat8``) is never served after the table changes
+    (say :func:`~repro.ir.opspec.register_concat` widened the family).
     """
     config_items = tuple(
         (f.name, repr(getattr(config, f.name))) for f in dataclass_fields(config)
@@ -137,5 +143,6 @@ def config_digest(
         model_token = "<default-cost-model>"
     else:
         model_token = f"{type(cost_model).__module__}.{type(cost_model).__qualname__}"
-    payload = repr((config_items, rules_token, model_token)).encode("utf-8")
+    ops_token = ";".join(f"{spec.name}={','.join(spec.symbols)}" for spec in OPS)
+    payload = repr((config_items, rules_token, model_token, ops_token)).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()

@@ -1,6 +1,7 @@
 """Tests for graph <-> term conversion and the tensor e-class analysis."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.language import RecExpr
@@ -75,6 +76,80 @@ class TestRecExprToGraph:
         expr = RecExpr.parse('(ewadd (input "x@4 8") (input "y@4 9"))')
         with pytest.raises(Exception):
             recexpr_to_graph(expr)
+
+    def test_unknown_operator_raises_in_strict_mode(self):
+        from repro.ir.opspec import UnknownOperatorError
+
+        expr = RecExpr.parse('(matmull 0 (input "x@4 8") (weight "w@8 16"))')
+        with pytest.raises(UnknownOperatorError):
+            recexpr_to_graph(expr)  # strict by default
+
+    def test_lenient_mode_keeps_unknown_as_str(self):
+        expr = RecExpr.parse('(frobnicate)')
+        g = recexpr_to_graph(expr, strict=False)
+        assert g.nodes[g.outputs[0]].op == OpKind.STR
+
+
+class TestRoundTripProperties:
+    """Hypothesis: random multi-output DAGs survive graph -> RecExpr -> graph."""
+
+    @staticmethod
+    def random_graph(data):
+        b = GraphBuilder("rand")
+        m = data.draw(st.integers(2, 5), label="m")
+        k = data.draw(st.integers(2, 5), label="k")
+        pool = [b.input("x", (m, k))]
+        for step in range(data.draw(st.integers(1, 7), label="n_ops")):
+            op = data.draw(
+                st.sampled_from(["relu", "tanh", "sigmoid", "ewadd", "ewmul",
+                                 "matmul", "transpose", "concat_split"]),
+                label=f"op{step}",
+            )
+            src = data.draw(st.sampled_from(pool), label=f"src{step}")
+            if op in ("relu", "tanh", "sigmoid"):
+                pool.append(getattr(b, op)(src))
+            elif op in ("ewadd", "ewmul"):
+                same = [n for n in pool if b.shape(n) == b.shape(src)]
+                other = data.draw(st.sampled_from(same), label=f"rhs{step}")
+                pool.append(getattr(b, op)(src, other))
+            elif op == "matmul":
+                rows, cols = b.shape(src)
+                w = b.weight(f"w{step}", (cols, data.draw(st.integers(2, 5))))
+                pool.append(b.matmul(src, w))
+            elif op == "transpose":
+                pool.append(b.transpose(src, (1, 0)))
+            else:  # concat then split back apart
+                cat = b.concat(1, src, src)
+                s0, s1 = b.split(1, cat)
+                pool.extend([s0, s1])
+        n_outputs = data.draw(st.integers(1, min(3, len(pool))), label="n_outputs")
+        outputs = data.draw(
+            st.lists(st.sampled_from(pool), min_size=n_outputs, max_size=n_outputs,
+                     unique=True),
+            label="outputs",
+        )
+        return b.finish(outputs=outputs)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_structure(self, data):
+        from repro.service.fingerprint import graph_fingerprint
+
+        g = self.random_graph(data)
+        expr, mapping = graph_to_recexpr(g)
+        g2 = recexpr_to_graph(expr)  # strict symbol resolution
+        validate_graph(g2)
+        live = g.pruned()
+        assert len(g2.outputs) == len(g.outputs)
+        for a, c in zip(g.outputs, g2.outputs):
+            assert g.nodes[a].data.kind == g2.nodes[c].data.kind
+            assert g.nodes[a].shape == g2.nodes[c].shape
+        # The expression carries every node of g (even ones unreachable from
+        # the drawn outputs), so compare the live subgraphs.
+        assert g2.pruned().op_histogram() == live.op_histogram()
+        # Canonical fingerprints agree: the round trip is the same
+        # computation up to node numbering.
+        assert graph_fingerprint(g2) == graph_fingerprint(live)
 
 
 class TestTensorAnalysis:

@@ -70,6 +70,34 @@ class TestSymbolToOp:
         assert op == OpKind.STR and value == "x@8 64"
 
 
+class TestStrictSymbolToOp:
+    """Regression: unknown symbols used to be silently classified as STR
+    literals everywhere; the strict path now raises instead."""
+
+    def test_default_mode_keeps_unknown_as_str(self):
+        op, value = symbol_to_op("matmull")  # typo'd operator
+        assert op == OpKind.STR and value == "matmull"
+
+    def test_strict_mode_raises_on_unknown_operator(self):
+        from repro.ir.opspec import UnknownOperatorError
+
+        with pytest.raises(UnknownOperatorError):
+            symbol_to_op("matmull", strict=True)
+
+    def test_strict_mode_accepts_genuine_literals(self):
+        # Identifier payloads and integer-token strings are real string
+        # literals, not misspelled operators, even under strict.
+        assert symbol_to_op("x@8 64", strict=True) == (OpKind.STR, "x@8 64")
+        assert symbol_to_op("1 0", strict=True) == (OpKind.STR, "1 0")
+        assert symbol_to_op("42", strict=True) == (OpKind.NUM, 42)
+
+    def test_strict_mode_accepts_registered_operators(self):
+        for op in OpKind:
+            if op in (OpKind.NUM, OpKind.STR, OpKind.CONCAT):
+                continue
+            assert symbol_to_op(op.value, strict=True) == (op, None)
+
+
 class TestEnums:
     def test_activation_values_match_taso_encoding(self):
         assert int(Activation.NONE) == 0

@@ -12,7 +12,13 @@ Four checks:
    ``EXTRACTORS`` and the CLI defaults for ``--extraction-deadline`` /
    ``--no-extraction-prune`` / ``--no-ilp-warm-start`` equal the
    ``TensatConfig`` field defaults (the config dataclass is the single
-   source of truth for engine-knob defaults).
+   source of truth for engine-knob defaults),
+5. the operator-spec registry lockstep: every ``OpKind`` has a complete
+   ``OPS`` spec, every registered symbol round-trips through
+   ``resolve_symbol``, ``serialize.valid_ops()`` mirrors ``OPS.names()``,
+   the ONNX importer's handler table equals the union of every spec's
+   ``onnx_ops`` plus its frontend-only ops, and the CLI exposes the
+   ``import`` subcommand with ``--onnx`` on ``optimize`` / ``submit``.
 
 Run from anywhere::
 
@@ -183,6 +189,59 @@ def check_service_lockstep() -> list:
     return problems
 
 
+def check_ops_lockstep() -> list:
+    """The operator-spec registry stays consistent across every consumer."""
+    from repro.ir import serialize
+    from repro.ir.onnx_import import FRONTEND_OPS, _Importer
+    from repro.ir.ops import OpKind
+    from repro.ir.opspec import OPS
+
+    problems = []
+    for kind in OpKind:
+        try:
+            spec = OPS.spec(kind)
+        except ValueError:
+            problems.append(f"OpKind.{kind.name} has no registered OpSpec")
+            continue
+        for field in ("infer", "flops", "op_bytes"):
+            if not callable(getattr(spec, field)):
+                problems.append(f"OPS spec {spec.name!r} has non-callable {field}")
+    for symbol in OPS.symbols():
+        spec = OPS.for_symbol(symbol)
+        try:
+            kind, _ = OPS.resolve_symbol(symbol, strict=True)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(f"registered symbol {symbol!r} fails strict resolution: {exc}")
+            continue
+        if spec is None or kind != spec.kind:
+            problems.append(f"registered symbol {symbol!r} resolves to {kind!r}, not its spec")
+    if tuple(serialize.valid_ops()) != OPS.names():
+        problems.append(
+            f"serialize.valid_ops() {tuple(serialize.valid_ops())!r} != OPS.names() {OPS.names()!r}"
+        )
+
+    # ONNX importer coverage is registry-derived: the handler table must be
+    # exactly the union of every spec's onnx_ops plus the frontend-only ops.
+    declared = {op for spec in OPS for op in spec.onnx_ops} | set(FRONTEND_OPS)
+    handlers = set(_Importer.HANDLERS)
+    if declared != handlers:
+        problems.append(
+            f"ONNX handler table {sorted(handlers)} != registry-declared ops {sorted(declared)}"
+        )
+
+    subcommands = _subcommand_parsers(build_parser())
+    if "import" not in subcommands:
+        problems.append("CLI has no 'import' subcommand")
+    for command in ("optimize", "submit", "import"):
+        subparser = subcommands.get(command)
+        if subparser is None:
+            continue
+        dests = {a.dest for a in subparser._actions}
+        if "onnx" not in dests:
+            problems.append(f"CLI '{command}' has no --onnx flag")
+    return problems
+
+
 def main() -> int:
     problems = (
         check_exports()
@@ -190,6 +249,7 @@ def main() -> int:
         + check_config_snapshots()
         + check_extraction_lockstep()
         + check_service_lockstep()
+        + check_ops_lockstep()
     )
     if problems:
         for problem in problems:
@@ -201,7 +261,7 @@ def main() -> int:
         f"ok: {len(repro.__all__)} exports import, {n_knobs} CLI strategy knobs "
         "match their registries, config snapshots consistent, extraction "
         "deadline/prune/warm-start defaults in lockstep, serve flags match "
-        "ServiceConfig"
+        "ServiceConfig, OPS registry / serializer / ONNX importer / CLI in lockstep"
     )
     return 0
 
